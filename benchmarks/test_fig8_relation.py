@@ -1,0 +1,88 @@
+"""Figure 8: the ZNat relation and its matching preconditions.
+
+The figure plots (a) the actual ZNat constructor relation -- the
+diagonal dots (n, result) with n >= 0 -- and (b) the matches clause's
+projections: the forward-mode precondition ``n >= 0`` and the
+backward-mode precondition ``true``.  This harness regenerates both
+data sets: the dots by running the constructor relation in both modes,
+the preconditions by ExtractM, and checks the containment the paper's
+correctness condition demands (every dot lies in the shaded region).
+"""
+
+import pytest
+
+from repro import api
+from repro.corpus import nat
+from repro.errors import MatchFailure
+from repro.lang import ast, parse_formula
+from repro.modes.mode import RESULT, Mode
+from repro.verify.extract import extract_matches
+
+RANGE = range(-2, 5)
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return api.compile_program(nat.PROGRAM)
+
+
+@pytest.fixture(scope="module")
+def interp(unit):
+    return api.interpreter(unit)
+
+
+def actual_relation(interp):
+    """The dots of Figure 8(a): pairs (n, val-of-result) that relate."""
+    dots = []
+    for n in RANGE:
+        try:
+            obj = interp.new("ZNat", n)
+        except MatchFailure:
+            continue
+        dots.append((n, obj.fields["val"]))
+    return dots
+
+
+def test_relation_dots(interp, benchmark):
+    dots = benchmark.pedantic(
+        actual_relation, args=(interp,), rounds=1, iterations=1
+    )
+    assert dots == [(n, n) for n in RANGE if n >= 0]
+
+
+def test_forward_precondition_is_n_ge_0(unit):
+    method = unit.table.types["ZNat"].methods["ZNat"]
+    extracted = extract_matches(method.decl, Mode.of({RESULT}), unit.table, "ZNat")
+    assert str(extracted) == "(n >= 0)"
+
+
+def test_backward_precondition_is_true(unit):
+    method = unit.table.types["ZNat"].methods["ZNat"]
+    extracted = extract_matches(method.decl, Mode.of({"n"}), unit.table, "ZNat")
+    assert isinstance(extracted, ast.Lit) and extracted.value is True
+
+
+def test_every_dot_lies_in_the_shaded_region(interp, unit):
+    """Figure 8(b)'s region contains 8(a)'s dots: the matches clause
+    underapproximates success, mode-projected."""
+    for n, val in actual_relation(interp):
+        # Forward precondition: n >= 0 must hold for every related n.
+        assert n >= 0
+    # Backward precondition is `true`: every constructed value can be
+    # matched back (the constructor is total on its own outputs).
+    for n in RANGE:
+        if n < 0:
+            continue
+        obj = interp.new("ZNat", n)
+        solutions = list(
+            interp.match(parse_formula("ZNat(int k)", {"ZNat"}), obj, {}, None)
+        )
+        assert solutions and solutions[0]["k"] == n
+
+
+def test_region_is_a_strict_overapproximation(interp):
+    """The shaded region has points that are not dots (the paper's
+    point: `n >= 0` does not imply the exact relation)."""
+    region = {(n, r) for n in RANGE for r in RANGE if n >= 0}
+    dots = set(actual_relation(interp))
+    assert dots < region

@@ -1,0 +1,79 @@
+"""Table 1, token columns: JMatch vs Java conciseness.
+
+Regenerates the per-implementation token counts and the headline
+claim: "JMatch 2.0 code is considerably more concise than in Java"
+(42.5% shorter on average in the paper; our re-written Java baselines
+give a smaller but same-direction reduction).  Interface rows are also
+counted without matches/ensures clauses -- the parenthesised numbers
+in Table 1 quantifying the annotation burden.
+"""
+
+import pytest
+
+from repro.metrics import average_reduction, table1_rows
+
+EXPECTED_ROWS = {
+    "Nat", "ZNat", "PZero", "PSucc",
+    "List", "EmptyList", "ConsList", "SnocList", "ArrList",
+    "Expr", "Variable", "Lambda", "TypedLambda", "Apply", "CPS",
+    "Type", "BaseType", "ArrowType", "UnknownType", "Environment",
+    "Tree", "TreeLeaf", "TreeBranch", "AVLTree",
+    "ArrayList", "LinkedList", "HashMap", "TreeMap",
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1_rows()
+
+
+def test_all_28_rows_present(rows):
+    assert {r.name for r in rows} == EXPECTED_ROWS
+
+
+def test_implementation_rows_are_shorter_in_jmatch(rows):
+    # The paper's shape: implementation classes are much shorter in
+    # JMatch (modal abstraction replaces hand-written inverses and
+    # iterators); a solid majority must show a reduction.
+    impls = [r for r in rows if r.jmatch_without_specs is None or r.java > 100]
+    shorter = [r for r in impls if r.jmatch < r.java]
+    assert len(shorter) >= len(impls) * 0.6, [
+        (r.name, r.jmatch, r.java) for r in impls if r.jmatch >= r.java
+    ]
+
+
+def test_interfaces_carry_annotation_burden(rows):
+    # Interfaces gain tokens from matches/ensures clauses; Table 1
+    # reports both numbers.  Check the parenthesised count is smaller.
+    for name in ("Nat", "List", "Tree"):
+        row = next(r for r in rows if r.name == name)
+        assert row.jmatch_without_specs is not None
+        assert row.jmatch_without_specs < row.jmatch
+
+
+def test_average_reduction_positive(rows):
+    # Paper: 42.5%.  Our Java baselines are leaner than the authors'
+    # (theirs shadowed java.util), so the absolute number is lower, but
+    # the direction must hold decisively.
+    reduction = average_reduction(rows)
+    assert reduction > 10.0, f"average reduction only {reduction:.1f}%"
+
+
+def test_token_table_benchmark(benchmark):
+    result = benchmark(table1_rows)
+    assert len(result) == 28
+
+
+def report_rows() -> str:
+    """Render the Table 1 token columns (used by EXPERIMENTS.md)."""
+    rows = table1_rows()
+    lines = [f"{'Implementation':<14}{'JMatch':>8}{'(w/o specs)':>12}{'Java':>8}"]
+    for r in rows:
+        without = str(r.jmatch_without_specs) if r.jmatch_without_specs else ""
+        lines.append(f"{r.name:<14}{r.jmatch:>8}{without:>12}{r.java:>8}")
+    lines.append(f"average reduction: {average_reduction(rows):.1f}%")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report_rows())

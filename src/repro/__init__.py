@@ -1,0 +1,11 @@
+"""Reproduction of "Reconciling Exhaustive Pattern Matching with Objects".
+
+JMatch 2.0 (Isradisaikul & Myers, PLDI 2013) rebuilt as a Python
+library: a JMatch-subset language front end, a modal-abstraction
+runtime, and an SMT-backed verifier for exhaustiveness, redundancy,
+totality, and disjointness -- including the SMT solver itself.
+
+High-level entry points live in :mod:`repro.api`.
+"""
+
+__version__ = "1.0.0"

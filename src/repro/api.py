@@ -1,0 +1,47 @@
+"""High-level entry points for the library.
+
+>>> from repro import api
+>>> unit = api.compile_program(source_text)
+>>> report = api.verify(unit)
+>>> interp = api.interpreter(unit)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import Diagnostics
+from .lang import analyze, ast, parse_program
+from .lang.symbols import ProgramTable
+from .runtime import Interpreter
+from .verify import VerificationReport, Verifier
+
+
+@dataclass
+class CompiledUnit:
+    """A parsed, checked program plus its symbol table."""
+
+    program: ast.Program
+    table: ProgramTable
+
+
+def compile_program(source: str, filename: str = "<input>") -> CompiledUnit:
+    """Parse and semantically check a JMatch program."""
+    program = parse_program(source, filename)
+    table = analyze(program)
+    return CompiledUnit(program, table)
+
+
+def verify(unit: CompiledUnit) -> VerificationReport:
+    """Run the full static verification pass (Sections 5-6)."""
+    return Verifier(unit.table).run()
+
+
+def interpreter(unit: CompiledUnit) -> Interpreter:
+    """An interpreter over the unit's class table."""
+    return Interpreter(unit.table)
+
+
+def compile_and_verify(source: str) -> tuple[CompiledUnit, VerificationReport]:
+    unit = compile_program(source)
+    return unit, verify(unit)

@@ -1,0 +1,122 @@
+"""Command-line interface: compile, verify, and run JMatch programs.
+
+Usage::
+
+    python -m repro.cli verify program.jm        # static checks
+    python -m repro.cli run program.jm main 3 4  # call a function
+    python -m repro.cli tokens                   # Table 1 token table
+
+Exit status: 0 on success (for ``verify``: even with warnings, since
+verification "only affects warnings given to the programmer"); 1 on
+compile errors; 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import api
+from .errors import JMatchError
+from .runtime import render
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    try:
+        unit = api.compile_program(_read(args.file), filename=args.file)
+    except JMatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.budget is not None:
+        from .smt.solver import Solver
+
+        Solver.TIME_BUDGET = args.budget
+    report = api.verify(unit)
+    for warning in report.diagnostics.warnings:
+        print(warning)
+    print(
+        f"checked {report.methods_checked} methods, "
+        f"{report.statements_checked} statements in {report.seconds:.2f}s; "
+        f"{len(report.diagnostics.warnings)} warnings"
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        unit = api.compile_program(_read(args.file), filename=args.file)
+    except JMatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    from .corpus.support import install_builtins
+
+    interp = install_builtins(api.interpreter(unit))
+    call_args = [int(a) if _is_int(a) else a for a in args.args]
+    try:
+        result = interp.run_function(args.function, *call_args)
+    except JMatchError as exc:
+        print(f"runtime error: {exc}", file=sys.stderr)
+        return 1
+    print(render(result))
+    return 0
+
+
+def _is_int(text: str) -> bool:
+    try:
+        int(text)
+        return True
+    except ValueError:
+        return False
+
+
+def cmd_tokens(_args: argparse.Namespace) -> int:
+    from .metrics import average_reduction, table1_rows
+
+    rows = table1_rows()
+    print(f"{'Implementation':<14}{'JMatch':>8}{'(w/o specs)':>12}{'Java':>8}")
+    for row in rows:
+        without = (
+            str(row.jmatch_without_specs) if row.jmatch_without_specs else ""
+        )
+        print(f"{row.name:<14}{row.jmatch:>8}{without:>12}{row.java:>8}")
+    print(f"average reduction: {average_reduction(rows):.1f}%")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JMatch 2.0 reproduction: compile, verify, run.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = subparsers.add_parser("verify", help="run the static checks")
+    p_verify.add_argument("file")
+    p_verify.add_argument(
+        "--budget", type=float, default=None,
+        help="per-query SMT time budget in seconds",
+    )
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_run = subparsers.add_parser("run", help="invoke a top-level function")
+    p_run.add_argument("file")
+    p_run.add_argument("function")
+    p_run.add_argument("args", nargs="*")
+    p_run.set_defaults(func=cmd_run)
+
+    p_tokens = subparsers.add_parser(
+        "tokens", help="print the Table 1 token comparison"
+    )
+    p_tokens.set_defaults(func=cmd_tokens)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

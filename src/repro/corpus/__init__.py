@@ -1,0 +1,48 @@
+"""The paper's evaluation corpus (Section 7.1, Table 1).
+
+Each module carries the JMatch 2.0 sources for one group of
+implementations, as a mapping from Table 1 row name to source text,
+plus a combined program that compiles, verifies, and runs:
+
+* :mod:`repro.corpus.nat`          -- Nat, ZNat, PZero, PSucc
+* :mod:`repro.corpus.lists`        -- List, EmptyList, ConsList,
+  SnocList, ArrList (Figure 12)
+* :mod:`repro.corpus.cps`          -- lambda-calculus ASTs and the
+  invertible CPS conversion (Figure 5)
+* :mod:`repro.corpus.typeinf`      -- unification-based type inference
+* :mod:`repro.corpus.trees`        -- Tree, TreeLeaf, TreeBranch, and
+  the AVL rebalance (Figure 13)
+* :mod:`repro.corpus.collections_` -- ArrayList, LinkedList, HashMap,
+  TreeMap
+* :mod:`repro.corpus.java_baselines` -- the Java reference
+  implementations used for Table 1's token comparison
+
+``GROUPS`` maps each Table 1 row to (language, source-text) pairs.
+"""
+
+from . import collections_, cps, java_baselines, lists, nat, trees, typeinf
+
+
+def jmatch_rows() -> dict[str, str]:
+    """Table 1 row name -> JMatch source text."""
+    rows: dict[str, str] = {}
+    for module in (nat, lists, cps, typeinf, trees, collections_):
+        rows.update(module.ROWS)
+    return rows
+
+
+def java_rows() -> dict[str, str]:
+    """Table 1 row name -> Java baseline source text."""
+    return dict(java_baselines.ROWS)
+
+
+def combined_programs() -> dict[str, str]:
+    """Group name -> complete compilable JMatch program."""
+    return {
+        "nat": nat.PROGRAM,
+        "lists": lists.PROGRAM,
+        "cps": cps.PROGRAM,
+        "typeinf": typeinf.PROGRAM,
+        "trees": trees.PROGRAM,
+        "collections": collections_.PROGRAM,
+    }

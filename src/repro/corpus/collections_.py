@@ -1,0 +1,218 @@
+"""Collection classes in the style of the JMatch collections framework.
+
+Functional (persistent) renditions of the four Table 1 collection
+rows: ``ArrayList`` (store + length, tails shared), ``LinkedList``
+(cells), ``HashMap`` (four bucket chains selected by a modulus hash),
+and ``TreeMap`` (a red-black tree).
+
+Per Section 7.3, TreeMap's ``balance`` carries no red-black invariants,
+so its ``cond`` is *expected* to draw a nonexhaustive warning -- that
+warning is part of the reproduction, not a defect.
+"""
+
+ARRAY_LIST = """\
+class Cell {
+  Object head;
+  Cell rest;
+  constructor put(Object v, Cell r) matches(notall(result)) returns(v, r)
+    ( head = v && rest = r )
+}
+class ArrayList {
+  Cell store;
+  int len;
+  private invariant(len >= 0);
+  private ArrayList(Cell s, int n) matches ensures(n >= 0) returns(s, n)
+    ( store = s && len = n && n >= 0 )
+  constructor empty() matches(notall(result)) returns()
+    ( len = 0 && store = null )
+  constructor push(Object h, ArrayList t)
+    matches(notall(result)) returns(h, t)
+    ( len >= 1 && store = Cell.put(h, Cell r) && ArrayList(r, len - 1) = t )
+  boolean contains(Object elem) iterates(elem)
+    ( push(Object h, ArrayList t) && (elem = h || t.contains(elem)) )
+  int size() ensures(result >= 0)
+    ( result = len )
+  Object get(int i)
+    ( push(Object h, ArrayList t) &&
+      (i = 0 && result = h || i >= 1 && result = t.get(i - 1)) )
+}
+static ArrayList arrayListOf3(Object a, Object b, Object c) {
+  return ArrayList.push(a, ArrayList.push(b, ArrayList.push(c,
+         ArrayList.empty())));
+}
+"""
+
+LINKED_LIST = """\
+interface Seq {
+  invariant(this = snil() | scons(_, _));
+  constructor snil() matches(notall(result)) returns();
+  constructor scons(Object hd, Seq tl)
+    matches(notall(result)) returns(hd, tl);
+  boolean contains(Object elem) iterates(elem);
+  int size() ensures(result >= 0);
+}
+class SeqNil implements Seq {
+  constructor snil() returns() ( true )
+  constructor scons(Object hd, Seq tl) returns(hd, tl) ( false )
+  boolean contains(Object elem) iterates(elem) ( false )
+  int size() ensures(result >= 0) ( result = 0 )
+}
+class LinkedList implements Seq {
+  Object hd;
+  Seq tl;
+  constructor snil() returns() ( false )
+  constructor scons(Object h, Seq t) returns(h, t)
+    ( hd = h && tl = t )
+  boolean contains(Object elem) iterates(elem)
+    ( elem = hd || tl.contains(elem) )
+  int size() ensures(result >= 0)
+    ( result = tl.size() + 1 )
+}
+static Seq seqAppend(Seq a, Seq b) {
+  switch (a) {
+    case snil(): return b;
+    case scons(Object h, Seq t):
+      return LinkedList.scons(h, seqAppend(t, b));
+  }
+}
+static int seqLength(Seq s) {
+  switch (s) {
+    case snil(): return 0;
+    case scons(_, Seq t): return seqLength(t) + 1;
+  }
+}
+"""
+
+HASH_MAP = """\
+class Bucket {
+  int key;
+  Object val;
+  Bucket next;
+  constructor entry(int k, Object v, Bucket n)
+    matches(notall(result)) returns(k, v, n)
+    ( key = k && val = v && next = n )
+  boolean find(int k, Object v) iterates(k, v)
+    ( k = key && v = val || next != null && next.find(k, v) )
+  boolean hasKey(int k)
+    ( k = key || next != null && next.hasKey(k) )
+}
+class HashMap {
+  Bucket b0;
+  Bucket b1;
+  Bucket b2;
+  Bucket b3;
+  invariant(this = table(_, _, _, _));
+  constructor table(Bucket x0, Bucket x1, Bucket x2, Bucket x3)
+    matches(notall(result)) returns(x0, x1, x2, x3)
+    ( b0 = x0 && b1 = x1 && b2 = x2 && b3 = x3 )
+}
+static HashMap emptyMap() {
+  return HashMap.table(null, null, null, null);
+}
+static int slot(int k) matches(true) ensures(result >= 0 && result <= 3) {
+  let int h = k % 4;
+  cond {
+    (h < 0) { return h + 4; }
+    (h >= 0) { return h; }
+  }
+}
+static HashMap mapPut(HashMap m, int k, Object v) {
+  let m = table(Bucket x0, Bucket x1, Bucket x2, Bucket x3);
+  switch (slot(k)) {
+    case 0: return HashMap.table(Bucket.entry(k, v, x0), x1, x2, x3);
+    case 1: return HashMap.table(x0, Bucket.entry(k, v, x1), x2, x3);
+    case 2: return HashMap.table(x0, x1, Bucket.entry(k, v, x2), x3);
+    case 3: return HashMap.table(x0, x1, x2, Bucket.entry(k, v, x3));
+  }
+}
+static boolean mapHas(HashMap m, int k) {
+  let m = table(Bucket x0, Bucket x1, Bucket x2, Bucket x3);
+  switch (slot(k)) {
+    case 0: return x0 != null && x0.hasKey(k);
+    case 1: return x1 != null && x1.hasKey(k);
+    case 2: return x2 != null && x2.hasKey(k);
+    case 3: return x3 != null && x3.hasKey(k);
+  }
+}
+"""
+
+TREE_MAP = """\
+interface RBTree {
+  invariant(this = rbleaf() | rbnode(_, _, _, _, _));
+  constructor rbleaf() matches(notall(result)) returns();
+  constructor rbnode(int color, RBTree l, int key, Object val, RBTree r)
+    matches(notall(result))
+    returns(color, l, key, val, r);
+}
+class RBLeaf implements RBTree {
+  constructor rbleaf() returns() ( true )
+  constructor rbnode(int color, RBTree l, int key, Object val, RBTree r)
+    returns(color, l, key, val, r)
+    ( false )
+}
+class RBNode implements RBTree {
+  int color;
+  RBTree left;
+  int key;
+  Object val;
+  RBTree right;
+  constructor rbleaf() returns() ( false )
+  constructor rbnode(int c, RBTree l, int k, Object v, RBTree r)
+    returns(c, l, k, v, r)
+    ( color = c && left = l && key = k && val = v && right = r )
+}
+static RBTree balance(int c, RBTree l, int k, Object v, RBTree r) {
+  if (c = 1)
+    cond {
+      (l = rbnode(1, rbnode(1, RBTree a, int xk, Object xv, RBTree b),
+                  int yk, Object yv, RBTree c2))
+      { return RBNode.rbnode(1, RBNode.rbnode(0, a, xk, xv, b), yk, yv,
+               RBNode.rbnode(0, c2, k, v, r)); }
+      (l = rbnode(1, RBTree a, int xk, Object xv,
+                  rbnode(1, RBTree b, int yk, Object yv, RBTree c2)))
+      { return RBNode.rbnode(1, RBNode.rbnode(0, a, xk, xv, b), yk, yv,
+               RBNode.rbnode(0, c2, k, v, r)); }
+      (r = rbnode(1, rbnode(1, RBTree b, int yk, Object yv, RBTree c2),
+                  int zk, Object zv, RBTree d))
+      { return RBNode.rbnode(1, RBNode.rbnode(0, l, k, v, b), yk, yv,
+               RBNode.rbnode(0, c2, zk, zv, d)); }
+      (r = rbnode(1, RBTree b, int yk, Object yv,
+                  rbnode(1, RBTree c2, int zk, Object zv, RBTree d)))
+      { return RBNode.rbnode(1, RBNode.rbnode(0, l, k, v, b), yk, yv,
+               RBNode.rbnode(0, c2, zk, zv, d)); }
+    }
+  return RBNode.rbnode(c, l, k, v, r);
+}
+static RBTree rbInsert(RBTree t, int k, Object v) {
+  switch (t) {
+    case rbleaf():
+      return RBNode.rbnode(0, RBLeaf.rbleaf(), k, v, RBLeaf.rbleaf());
+    case rbnode(int c, RBTree l, int nk, Object nv, RBTree r):
+      cond {
+        (k < nk) { return balance(c, rbInsert(l, k, v), nk, nv, r); }
+        (k = nk) { return RBNode.rbnode(c, l, k, v, r); }
+        (k > nk) { return balance(c, l, nk, nv, rbInsert(r, k, v)); }
+      }
+  }
+}
+static boolean rbHas(RBTree t, int k) {
+  switch (t) {
+    case rbleaf(): return false;
+    case rbnode(_, RBTree l, int nk, _, RBTree r):
+      cond {
+        (k < nk) { return rbHas(l, k); }
+        (k = nk) { return true; }
+        (k > nk) { return rbHas(r, k); }
+      }
+  }
+}
+"""
+
+ROWS = {
+    "ArrayList": ARRAY_LIST,
+    "LinkedList": LINKED_LIST,
+    "HashMap": HASH_MAP,
+    "TreeMap": TREE_MAP,
+}
+
+PROGRAM = ARRAY_LIST + LINKED_LIST + HASH_MAP + TREE_MAP

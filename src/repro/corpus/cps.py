@@ -1,0 +1,107 @@
+"""Lambda-calculus ASTs and invertible CPS conversion (Figure 5).
+
+``CPS`` is a single declarative relation between source and
+CPS-converted expressions; its forward mode converts and its backward
+mode (``let CPS(Expr source) = target``) *un-converts*.  The tuple
+alternatives combined with ``|`` make the relation one-to-one, and the
+compiler can prove the three cases disjoint because the alternatives
+start with distinct concrete AST classes.
+
+``freshVar(prefix, e)`` is the paper's fresh-name helper; the runtime
+provides it as a builtin (deterministic in its arguments so that the
+backward mode re-derives the same names -- see corpus.support).
+"""
+
+EXPR_INTERFACE = """\
+interface Expr {
+  invariant(this = Var _ | Lambda _ | TypedLambda _ | Apply _);
+  constructor equals(Expr e);
+}
+"""
+
+VARIABLE = """\
+class Var implements Expr {
+  String name;
+  Var(String n) matches(true) returns(n)
+    ( name = n )
+  constructor equals(Expr e)
+    ( Var(String n2) = e && name = n2 )
+}
+"""
+
+LAMBDA = """\
+class Lambda implements Expr {
+  Var param;
+  Expr body;
+  Lambda(Var v, Expr b) matches(true) returns(v, b)
+    ( param = v && body = b )
+  constructor equals(Expr e)
+    ( Lambda(Var v2, Expr b2) = e && param = v2 && body = b2 )
+}
+"""
+
+TYPED_LAMBDA = """\
+class TypedLambda implements Expr {
+  Var param;
+  Type ptype;
+  Expr body;
+  TypedLambda(Var v, Type t, Expr b) matches(true) returns(v, t, b)
+    ( param = v && ptype = t && body = b )
+  constructor equals(Expr e)
+    ( TypedLambda(Var v2, Type t2, Expr b2) = e
+      && param = v2 && ptype = t2 && body = b2 )
+}
+"""
+
+APPLY = """\
+class Apply implements Expr {
+  Expr fn;
+  Expr arg;
+  Apply(Expr f, Expr a) matches(true) returns(f, a)
+    ( fn = f && arg = a )
+  constructor equals(Expr e)
+    ( Apply(Expr f2, Expr a2) = e && fn = f2 && arg = a2 )
+}
+"""
+
+CPS_FUNCTION = """\
+static Expr CPS(Expr e) returns(e) (
+  Var k = freshVar("k", e) &&
+  (e, result) =
+      (Var _ as Var ve,
+       Lambda(k, Apply(k, ve)))
+    | (Lambda(Var vl, Expr body),
+       Lambda(k,
+         Apply(k, Lambda(vl,
+           Lambda(k, Apply(CPS(body), k))))))
+    | ((Apply(Expr fn, Expr arg),
+       Lambda(k, Apply(CPS(fn),
+         Lambda(f, Apply(CPS(arg),
+           Lambda(Var("v") as Var va,
+             Apply(Apply(f, va), k)))))))
+       where Var f = freshVar("f", arg))
+)
+"""
+
+ROWS = {
+    "Expr": EXPR_INTERFACE,
+    "Variable": VARIABLE,
+    "Lambda": LAMBDA,
+    "TypedLambda": TYPED_LAMBDA,
+    "Apply": APPLY,
+    "CPS": CPS_FUNCTION,
+}
+
+# TypedLambda references Type, declared in the typeinf group; the CPS
+# program carries a minimal Type interface so it stands alone.
+_MIN_TYPE = "interface Type { }\n"
+
+PROGRAM = (
+    _MIN_TYPE
+    + EXPR_INTERFACE
+    + VARIABLE
+    + LAMBDA
+    + TYPED_LAMBDA
+    + APPLY
+    + CPS_FUNCTION
+)

@@ -1,0 +1,948 @@
+"""Java reference implementations for Table 1's token comparison.
+
+The paper compares each JMatch implementation against the most concise
+Java equivalent its authors could write.  Those Java sources are not
+public, so these are re-written baselines providing the same
+functionality through standard Java idiom: constructors + accessors,
+``instanceof`` chains in place of pattern matching, hand-written
+inverse operations in place of backward modes, and explicit iterator
+objects in place of iterative modes.  Absolute token counts therefore
+differ from the paper's; the *ratio* shape (Java consistently larger)
+is the reproduction target.
+"""
+
+NAT = """\
+interface Nat {
+    boolean isZero();
+    Nat pred();
+    Nat succ();
+    boolean natEquals(Nat other);
+    int toInt();
+}
+"""
+
+ZNAT = """\
+class ZNat implements Nat {
+    private final int val;
+    private ZNat(int n) {
+        if (n < 0) throw new IllegalArgumentException("negative");
+        this.val = n;
+    }
+    public static ZNat zero() { return new ZNat(0); }
+    public static ZNat fromInt(int n) { return new ZNat(n); }
+    public boolean isZero() { return val == 0; }
+    public Nat pred() {
+        if (val == 0) throw new IllegalStateException("zero has no pred");
+        return new ZNat(val - 1);
+    }
+    public Nat succ() { return new ZNat(val + 1); }
+    public boolean natEquals(Nat other) {
+        if (other instanceof ZNat) return ((ZNat) other).val == val;
+        Nat cur = other;
+        int count = 0;
+        while (!cur.isZero()) { cur = cur.pred(); count = count + 1; }
+        return count == val;
+    }
+    public int toInt() { return val; }
+    public boolean greater(Nat x) { return val > x.toInt(); }
+    public java.util.Iterator<Nat> allSmaller() {
+        final int bound = val;
+        return new java.util.Iterator<Nat>() {
+            private int next = 0;
+            public boolean hasNext() { return next < bound; }
+            public Nat next() { return new ZNat(next++); }
+        };
+    }
+}
+"""
+
+PZERO = """\
+class PZero implements Nat {
+    public boolean isZero() { return true; }
+    public Nat pred() {
+        throw new IllegalStateException("zero has no pred");
+    }
+    public Nat succ() { return new PSucc(this); }
+    public boolean natEquals(Nat other) { return other.isZero(); }
+    public int toInt() { return 0; }
+    public boolean equals(Object o) { return o instanceof PZero; }
+    public int hashCode() { return 0; }
+}
+"""
+
+PSUCC = """\
+class PSucc implements Nat {
+    private final Nat pred;
+    public PSucc(Nat pred) { this.pred = pred; }
+    public boolean isZero() { return false; }
+    public Nat pred() { return pred; }
+    public Nat succ() { return new PSucc(this); }
+    public boolean natEquals(Nat other) {
+        return !other.isZero() && pred.natEquals(other.pred());
+    }
+    public int toInt() { return 1 + pred.toInt(); }
+    public boolean equals(Object o) {
+        return o instanceof Nat && natEquals((Nat) o);
+    }
+    public int hashCode() { return toInt(); }
+}
+
+class NatOps {
+    static Nat plus(Nat m, Nat n) {
+        if (m.isZero()) return n;
+        if (n.isZero()) return m;
+        return plus(m.pred(), n.succ());
+    }
+    static Nat times(Nat m, Nat n) {
+        if (m.isZero()) return new PZero();
+        return plus(n, times(m.pred(), n));
+    }
+}
+"""
+
+LIST = """\
+interface List {
+    boolean isNil();
+    Object head();
+    List tail();
+    List consOnto(Object h);
+    List snocOnto(Object t);
+    Object last();
+    List init();
+    List reverse();
+    boolean contains(Object elem);
+    java.util.Iterator<Object> elements();
+    int size();
+    boolean listEquals(List other);
+}
+"""
+
+EMPTY_LIST = """\
+class EmptyList implements List {
+    public boolean isNil() { return true; }
+    public Object head() { throw new java.util.NoSuchElementException(); }
+    public List tail() { throw new java.util.NoSuchElementException(); }
+    public Object last() { throw new java.util.NoSuchElementException(); }
+    public List init() { throw new java.util.NoSuchElementException(); }
+    public List consOnto(Object h) { return new ConsList(h, this); }
+    public List snocOnto(Object t) { return new ConsList(t, this); }
+    public List reverse() { return this; }
+    public boolean contains(Object elem) { return false; }
+    public int size() { return 0; }
+    public boolean listEquals(List other) { return other.isNil(); }
+    public java.util.Iterator<Object> elements() {
+        return new java.util.Iterator<Object>() {
+            public boolean hasNext() { return false; }
+            public Object next() {
+                throw new java.util.NoSuchElementException();
+            }
+        };
+    }
+}
+"""
+
+CONS_LIST = """\
+class ConsList implements List {
+    private final Object hd;
+    private final List tl;
+    public ConsList(Object hd, List tl) { this.hd = hd; this.tl = tl; }
+    public boolean isNil() { return false; }
+    public Object head() { return hd; }
+    public List tail() { return tl; }
+    public List consOnto(Object h) { return new ConsList(h, this); }
+    public List snocOnto(Object t) {
+        return new ConsList(hd, tl.snocOnto(t));
+    }
+    public Object last() {
+        if (tl.isNil()) return hd;
+        return tl.last();
+    }
+    public List init() {
+        if (tl.isNil()) return new EmptyList();
+        return new ConsList(hd, tl.init());
+    }
+    public List reverse() {
+        List out = new EmptyList();
+        List cur = this;
+        while (!cur.isNil()) {
+            out = new ConsList(cur.head(), out);
+            cur = cur.tail();
+        }
+        return out;
+    }
+    public boolean contains(Object elem) {
+        if (hd == null ? elem == null : hd.equals(elem)) return true;
+        return tl.contains(elem);
+    }
+    public int size() { return 1 + tl.size(); }
+    public boolean listEquals(List other) {
+        if (other.isNil()) return false;
+        Object oh = other.head();
+        if (hd == null ? oh != null : !hd.equals(oh)) return false;
+        return tl.listEquals(other.tail());
+    }
+    public java.util.Iterator<Object> elements() {
+        return new java.util.Iterator<Object>() {
+            private List cur = ConsList.this;
+            public boolean hasNext() { return !cur.isNil(); }
+            public Object next() {
+                Object out = cur.head();
+                cur = cur.tail();
+                return out;
+            }
+        };
+    }
+}
+"""
+
+SNOC_LIST = """\
+class SnocList implements List {
+    private final List front;
+    private final Object back;
+    public SnocList(List front, Object back) {
+        this.front = front;
+        this.back = back;
+    }
+    public boolean isNil() { return false; }
+    public Object head() {
+        if (front.isNil()) return back;
+        return front.head();
+    }
+    public List tail() {
+        if (front.isNil()) return front;
+        return new SnocList(front.tail(), back);
+    }
+    public Object last() { return back; }
+    public List init() { return front; }
+    public List consOnto(Object h) {
+        if (front.isNil()) return new SnocList(new SnocList(front, h), back);
+        return new SnocList(front.consOnto(h), back);
+    }
+    public List snocOnto(Object t) { return new SnocList(this, t); }
+    public List reverse() {
+        List out = new EmptyList();
+        java.util.Iterator<Object> it = elements();
+        while (it.hasNext()) out = out.consOnto(it.next());
+        return out;
+    }
+    public boolean contains(Object elem) {
+        if (back == null ? elem == null : back.equals(elem)) return true;
+        return front.contains(elem);
+    }
+    public int size() { return front.size() + 1; }
+    public boolean listEquals(List other) {
+        if (other.isNil()) return false;
+        Object oh = other.head();
+        Object h = head();
+        if (h == null ? oh != null : !h.equals(oh)) return false;
+        return tail().listEquals(other.tail());
+    }
+    public java.util.Iterator<Object> elements() {
+        return new java.util.Iterator<Object>() {
+            private List cur = SnocList.this;
+            public boolean hasNext() { return !cur.isNil(); }
+            public Object next() {
+                Object out = cur.head();
+                cur = cur.tail();
+                return out;
+            }
+        };
+    }
+}
+"""
+
+ARR_LIST = """\
+class ArrList implements List {
+    private final Object[] store;
+    private final int size;
+    private ArrList(Object[] store, int size) {
+        this.store = store;
+        this.size = size;
+    }
+    public static ArrList empty() { return new ArrList(new Object[4], 0); }
+    public boolean isNil() { return size == 0; }
+    public Object head() {
+        if (size == 0) throw new java.util.NoSuchElementException();
+        return store[size - 1];
+    }
+    public List tail() {
+        if (size == 0) throw new java.util.NoSuchElementException();
+        return new ArrList(store, size - 1);
+    }
+    public Object last() { return store[0]; }
+    public List init() {
+        Object[] next = new Object[store.length];
+        System.arraycopy(store, 1, next, 0, size - 1);
+        return new ArrList(next, size - 1);
+    }
+    public List consOnto(Object h) {
+        Object[] target = store;
+        if (size == store.length || store[size] != null) {
+            target = new Object[Math.max(4, store.length * 2)];
+            System.arraycopy(store, 0, target, 0, size);
+        }
+        target[size] = h;
+        return new ArrList(target, size + 1);
+    }
+    public List snocOnto(Object t) {
+        Object[] next = new Object[Math.max(4, size + 1)];
+        next[0] = t;
+        System.arraycopy(store, 0, next, 1, size);
+        return new ArrList(next, size + 1);
+    }
+    public List reverse() {
+        Object[] next = new Object[size];
+        for (int i = 0; i < size; i++) next[i] = store[size - 1 - i];
+        return new ArrList(next, size);
+    }
+    public boolean contains(Object elem) {
+        for (int i = 0; i < size; i++) {
+            Object v = store[i];
+            if (v == null ? elem == null : v.equals(elem)) return true;
+        }
+        return false;
+    }
+    public int size() { return size; }
+    public boolean listEquals(List other) {
+        List cur = this;
+        while (!cur.isNil()) {
+            if (other.isNil()) return false;
+            Object a = cur.head();
+            Object b = other.head();
+            if (a == null ? b != null : !a.equals(b)) return false;
+            cur = cur.tail();
+            other = other.tail();
+        }
+        return other.isNil();
+    }
+    public java.util.Iterator<Object> elements() {
+        return new java.util.Iterator<Object>() {
+            private int i = size - 1;
+            public boolean hasNext() { return i >= 0; }
+            public Object next() { return store[i--]; }
+        };
+    }
+}
+"""
+
+EXPR = """\
+abstract class Expr {
+    public abstract boolean exprEquals(Expr other);
+    public abstract java.util.Set<String> freeNames();
+}
+"""
+
+VARIABLE = """\
+class Var extends Expr {
+    private final String name;
+    public Var(String name) { this.name = name; }
+    public String name() { return name; }
+    public boolean exprEquals(Expr other) {
+        return other instanceof Var && ((Var) other).name.equals(name);
+    }
+    public java.util.Set<String> freeNames() {
+        java.util.Set<String> out = new java.util.HashSet<String>();
+        out.add(name);
+        return out;
+    }
+    public boolean equals(Object o) {
+        return o instanceof Expr && exprEquals((Expr) o);
+    }
+    public int hashCode() { return name.hashCode(); }
+}
+"""
+
+LAMBDA = """\
+class Lambda extends Expr {
+    private final Var param;
+    private final Expr body;
+    public Lambda(Var param, Expr body) {
+        this.param = param;
+        this.body = body;
+    }
+    public Var param() { return param; }
+    public Expr body() { return body; }
+    public boolean exprEquals(Expr other) {
+        if (!(other instanceof Lambda)) return false;
+        Lambda l = (Lambda) other;
+        return l.param.exprEquals(param) && l.body.exprEquals(body);
+    }
+    public java.util.Set<String> freeNames() {
+        java.util.Set<String> out = body.freeNames();
+        out.add(param.name());
+        return out;
+    }
+    public boolean equals(Object o) {
+        return o instanceof Expr && exprEquals((Expr) o);
+    }
+    public int hashCode() { return 31 * param.hashCode() + body.hashCode(); }
+}
+"""
+
+TYPED_LAMBDA = """\
+class TypedLambda extends Lambda {
+    private final Type ptype;
+    public TypedLambda(Var param, Type ptype, Expr body) {
+        super(param, body);
+        this.ptype = ptype;
+    }
+    public Type ptype() { return ptype; }
+    public boolean exprEquals(Expr other) {
+        if (!(other instanceof TypedLambda)) return false;
+        TypedLambda t = (TypedLambda) other;
+        return super.exprEquals(other) && t.ptype.typeEquals(ptype);
+    }
+}
+"""
+
+APPLY = """\
+class Apply extends Expr {
+    private final Expr fn;
+    private final Expr arg;
+    public Apply(Expr fn, Expr arg) { this.fn = fn; this.arg = arg; }
+    public Expr fn() { return fn; }
+    public Expr arg() { return arg; }
+    public boolean exprEquals(Expr other) {
+        if (!(other instanceof Apply)) return false;
+        Apply a = (Apply) other;
+        return a.fn.exprEquals(fn) && a.arg.exprEquals(arg);
+    }
+    public java.util.Set<String> freeNames() {
+        java.util.Set<String> out = fn.freeNames();
+        out.addAll(arg.freeNames());
+        return out;
+    }
+    public boolean equals(Object o) {
+        return o instanceof Expr && exprEquals((Expr) o);
+    }
+    public int hashCode() { return fn.hashCode() * 17 + arg.hashCode(); }
+}
+"""
+
+CPS = """\
+class CpsConverter {
+    static Var freshVar(String prefix, Expr e) {
+        java.util.Set<String> used = e.freeNames();
+        if (!used.contains(prefix)) return new Var(prefix);
+        int i = 0;
+        while (used.contains(prefix + i)) i = i + 1;
+        return new Var(prefix + i);
+    }
+    static Expr cps(Expr e) {
+        Var k = freshVar("k", e);
+        if (e instanceof Var) {
+            return new Lambda(k, new Apply(k, e));
+        }
+        if (e instanceof Lambda) {
+            Lambda l = (Lambda) e;
+            return new Lambda(k, new Apply(k, new Lambda(l.param(),
+                new Lambda(k, new Apply(cps(l.body()), k)))));
+        }
+        Apply a = (Apply) e;
+        Var f = freshVar("f", a.arg());
+        Var v = new Var("v");
+        return new Lambda(k, new Apply(cps(a.fn()),
+            new Lambda(f, new Apply(cps(a.arg()),
+                new Lambda(v, new Apply(new Apply(f, v), k))))));
+    }
+    static Expr uncps(Expr target) {
+        if (!(target instanceof Lambda)) throw new IllegalArgumentException();
+        Lambda outer = (Lambda) target;
+        Var k = outer.param();
+        Expr body = outer.body();
+        if (!(body instanceof Apply)) throw new IllegalArgumentException();
+        Apply app = (Apply) body;
+        if (app.fn().exprEquals(k)) {
+            Expr inner = app.arg();
+            if (inner instanceof Var) return inner;
+            Lambda lam = (Lambda) inner;
+            Lambda cont = (Lambda) lam.body();
+            Apply capp = (Apply) cont.body();
+            return new Lambda(lam.param(), uncps(capp.fn()));
+        }
+        Expr fnSource = uncps(app.fn());
+        Lambda fCont = (Lambda) app.arg();
+        Apply argApp = (Apply) fCont.body();
+        Expr argSource = uncps(argApp.fn());
+        return new Apply(fnSource, argSource);
+    }
+}
+"""
+
+TYPE = """\
+abstract class Type {
+    public abstract boolean typeEquals(Type other);
+    public abstract boolean unifiesWith(Type other);
+}
+"""
+
+BASE_TYPE = """\
+class BaseType extends Type {
+    private final String name;
+    public BaseType(String name) { this.name = name; }
+    public String name() { return name; }
+    public boolean typeEquals(Type other) {
+        return other instanceof BaseType
+            && ((BaseType) other).name.equals(name);
+    }
+    public boolean unifiesWith(Type other) {
+        if (other instanceof UnknownType) return true;
+        return typeEquals(other);
+    }
+}
+"""
+
+ARROW_TYPE = """\
+class ArrowType extends Type {
+    private final Type from;
+    private final Type to;
+    public ArrowType(Type from, Type to) { this.from = from; this.to = to; }
+    public Type from() { return from; }
+    public Type to() { return to; }
+    public boolean typeEquals(Type other) {
+        if (!(other instanceof ArrowType)) return false;
+        ArrowType a = (ArrowType) other;
+        return a.from.typeEquals(from) && a.to.typeEquals(to);
+    }
+    public boolean unifiesWith(Type other) {
+        if (other instanceof UnknownType) return true;
+        if (!(other instanceof ArrowType)) return false;
+        ArrowType a = (ArrowType) other;
+        return from.unifiesWith(a.from) && to.unifiesWith(a.to);
+    }
+}
+"""
+
+UNKNOWN_TYPE = """\
+class UnknownType extends Type {
+    private final int id;
+    public UnknownType(int id) { this.id = id; }
+    public int id() { return id; }
+    public boolean typeEquals(Type other) {
+        return other instanceof UnknownType && ((UnknownType) other).id == id;
+    }
+    public boolean unifiesWith(Type other) { return true; }
+}
+"""
+
+ENVIRONMENT = """\
+class Environment {
+    private final Var key;
+    private final Type val;
+    private final Environment next;
+    public Environment(Var key, Type val, Environment next) {
+        this.key = key;
+        this.val = val;
+        this.next = next;
+    }
+    public Type lookup(Var x) {
+        if (key.exprEquals(x)) return val;
+        if (next == null) return null;
+        return next.lookup(x);
+    }
+    public static Environment bind(Environment env, Var x, Type t) {
+        return new Environment(x, t, env);
+    }
+    public static Type infer(Environment env, Expr e, int depth) {
+        if (e instanceof Var) {
+            Type t = env == null ? null : env.lookup((Var) e);
+            return t == null ? new UnknownType(depth) : t;
+        }
+        if (e instanceof TypedLambda) {
+            TypedLambda l = (TypedLambda) e;
+            return new ArrowType(l.ptype(),
+                infer(bind(env, l.param(), l.ptype()), l.body(), depth + 1));
+        }
+        if (e instanceof Lambda) {
+            Lambda l = (Lambda) e;
+            Type a = new UnknownType(depth);
+            return new ArrowType(a,
+                infer(bind(env, l.param(), a), l.body(), depth + 1));
+        }
+        Apply app = (Apply) e;
+        Type fnType = infer(env, app.fn(), depth);
+        Type argType = infer(env, app.arg(), depth);
+        if (fnType instanceof ArrowType
+                && ((ArrowType) fnType).from().unifiesWith(argType)) {
+            return ((ArrowType) fnType).to();
+        }
+        return new UnknownType(depth);
+    }
+}
+"""
+
+TREE = """\
+abstract class Tree {
+    public abstract int height();
+    public abstract boolean isLeaf();
+    public abstract Tree left();
+    public abstract int value();
+    public abstract Tree right();
+}
+"""
+
+TREE_LEAF = """\
+class TreeLeaf extends Tree {
+    public int height() { return 0; }
+    public boolean isLeaf() { return true; }
+    public Tree left() { throw new IllegalStateException("leaf"); }
+    public int value() { throw new IllegalStateException("leaf"); }
+    public Tree right() { throw new IllegalStateException("leaf"); }
+    public boolean equals(Object o) { return o instanceof TreeLeaf; }
+    public int hashCode() { return 0; }
+}
+"""
+
+TREE_BRANCH = """\
+class TreeBranch extends Tree {
+    private final Tree left;
+    private final int value;
+    private final Tree right;
+    private final int h;
+    public TreeBranch(Tree left, int value, Tree right) {
+        this.left = left;
+        this.value = value;
+        this.right = right;
+        this.h = 1 + Math.max(left.height(), right.height());
+    }
+    public int height() { return h; }
+    public boolean isLeaf() { return false; }
+    public Tree left() { return left; }
+    public int value() { return value; }
+    public Tree right() { return right; }
+    public boolean equals(Object o) {
+        if (!(o instanceof TreeBranch)) return false;
+        TreeBranch b = (TreeBranch) o;
+        return b.value == value && b.left.equals(left)
+            && b.right.equals(right);
+    }
+    public int hashCode() {
+        return value * 31 + left.hashCode() * 7 + right.hashCode();
+    }
+}
+"""
+
+AVL_TREE = """\
+class AVLTree {
+    private final Tree root;
+    public AVLTree(Tree root) { this.root = root; }
+    public AVLTree add(int x) { return new AVLTree(insert(root, x)); }
+    public boolean has(int x) { return member(root, x); }
+    static Tree rebalance(Tree l, int v, Tree r) {
+        if (l.height() - r.height() > 1) {
+            Tree ll = l.left();
+            Tree lr = l.right();
+            if (ll.height() >= lr.height()) {
+                return new TreeBranch(
+                    new TreeBranch(ll.left(), ll.isLeaf() ? 0 : ll.value(),
+                                   ll.isLeaf() ? ll : ll.right()),
+                    l.value(),
+                    new TreeBranch(lr, v, r));
+            } else {
+                return new TreeBranch(
+                    new TreeBranch(ll, l.value(), lr.left()),
+                    lr.value(),
+                    new TreeBranch(lr.right(), v, r));
+            }
+        }
+        if (r.height() - l.height() > 1) {
+            Tree rl = r.left();
+            Tree rr = r.right();
+            if (rl.height() > rr.height()) {
+                return new TreeBranch(
+                    new TreeBranch(l, v, rl.left()),
+                    rl.value(),
+                    new TreeBranch(rl.right(), r.value(), rr));
+            } else {
+                return new TreeBranch(
+                    new TreeBranch(l, v, rl),
+                    r.value(),
+                    new TreeBranch(rr.left(), rr.isLeaf() ? 0 : rr.value(),
+                                   rr.isLeaf() ? rr : rr.right()));
+            }
+        }
+        return new TreeBranch(l, v, r);
+    }
+    static Tree insert(Tree t, int x) {
+        if (t.isLeaf()) {
+            return new TreeBranch(new TreeLeaf(), x, new TreeLeaf());
+        }
+        if (x < t.value()) {
+            return rebalance(insert(t.left(), x), t.value(), t.right());
+        }
+        if (x == t.value()) return t;
+        return rebalance(t.left(), t.value(), insert(t.right(), x));
+    }
+    static boolean member(Tree t, int x) {
+        if (t.isLeaf()) return false;
+        if (x < t.value()) return member(t.left(), x);
+        if (x == t.value()) return true;
+        return member(t.right(), x);
+    }
+}
+"""
+
+ARRAY_LIST = """\
+class ArrayList {
+    private final Object[] store;
+    private final int size;
+    private ArrayList(Object[] store, int size) {
+        this.store = store;
+        this.size = size;
+    }
+    public static ArrayList empty() { return new ArrayList(new Object[4], 0); }
+    public ArrayList push(Object h) {
+        Object[] target = store;
+        if (size == store.length) {
+            target = new Object[store.length * 2];
+            System.arraycopy(store, 0, target, 0, size);
+        }
+        target[size] = h;
+        return new ArrayList(target, size + 1);
+    }
+    public Object get(int i) {
+        if (i < 0 || i >= size) throw new IndexOutOfBoundsException();
+        return store[size - 1 - i];
+    }
+    public Object head() { return get(0); }
+    public ArrayList tail() {
+        if (size == 0) throw new java.util.NoSuchElementException();
+        return new ArrayList(store, size - 1);
+    }
+    public int size() { return size; }
+    public boolean contains(Object elem) {
+        for (int i = 0; i < size; i++) {
+            Object v = store[i];
+            if (v == null ? elem == null : v.equals(elem)) return true;
+        }
+        return false;
+    }
+    public java.util.Iterator<Object> elements() {
+        return new java.util.Iterator<Object>() {
+            private int i = size - 1;
+            public boolean hasNext() { return i >= 0; }
+            public Object next() { return store[i--]; }
+        };
+    }
+}
+"""
+
+LINKED_LIST = """\
+interface Seq {
+    boolean isNil();
+    Object head();
+    Seq tail();
+    boolean contains(Object elem);
+    int size();
+    java.util.Iterator<Object> elements();
+}
+class SeqNil implements Seq {
+    public boolean isNil() { return true; }
+    public Object head() { throw new java.util.NoSuchElementException(); }
+    public Seq tail() { throw new java.util.NoSuchElementException(); }
+    public boolean contains(Object elem) { return false; }
+    public int size() { return 0; }
+    public java.util.Iterator<Object> elements() {
+        return java.util.Collections.emptyIterator();
+    }
+}
+class LinkedList implements Seq {
+    private final Object hd;
+    private final Seq tl;
+    public LinkedList(Object hd, Seq tl) { this.hd = hd; this.tl = tl; }
+    public boolean isNil() { return false; }
+    public Object head() { return hd; }
+    public Seq tail() { return tl; }
+    public boolean contains(Object elem) {
+        if (hd == null ? elem == null : hd.equals(elem)) return true;
+        return tl.contains(elem);
+    }
+    public int size() { return 1 + tl.size(); }
+    public java.util.Iterator<Object> elements() {
+        return new java.util.Iterator<Object>() {
+            private Seq cur = LinkedList.this;
+            public boolean hasNext() { return !cur.isNil(); }
+            public Object next() {
+                Object out = cur.head();
+                cur = cur.tail();
+                return out;
+            }
+        };
+    }
+    static Seq append(Seq a, Seq b) {
+        if (a.isNil()) return b;
+        return new LinkedList(a.head(), append(a.tail(), b));
+    }
+    static int length(Seq s) {
+        if (s.isNil()) return 0;
+        return 1 + length(s.tail());
+    }
+}
+"""
+
+HASH_MAP = """\
+class Bucket {
+    final int key;
+    final Object val;
+    final Bucket next;
+    Bucket(int key, Object val, Bucket next) {
+        this.key = key;
+        this.val = val;
+        this.next = next;
+    }
+    boolean hasKey(int k) {
+        if (k == key) return true;
+        return next != null && next.hasKey(k);
+    }
+    Object find(int k) {
+        if (k == key) return val;
+        return next == null ? null : next.find(k);
+    }
+}
+class HashMap {
+    private final Bucket[] buckets;
+    private HashMap(Bucket[] buckets) { this.buckets = buckets; }
+    public static HashMap empty() { return new HashMap(new Bucket[4]); }
+    private static int slot(int k) {
+        int h = k % 4;
+        return h < 0 ? h + 4 : h;
+    }
+    public HashMap put(int k, Object v) {
+        Bucket[] next = buckets.clone();
+        next[slot(k)] = new Bucket(k, v, buckets[slot(k)]);
+        return new HashMap(next);
+    }
+    public boolean has(int k) {
+        Bucket b = buckets[slot(k)];
+        return b != null && b.hasKey(k);
+    }
+    public Object get(int k) {
+        Bucket b = buckets[slot(k)];
+        return b == null ? null : b.find(k);
+    }
+}
+"""
+
+TREE_MAP = """\
+abstract class RBTree {
+    abstract boolean isLeaf();
+    abstract int color();
+    abstract RBTree left();
+    abstract int key();
+    abstract Object val();
+    abstract RBTree right();
+}
+class RBLeaf extends RBTree {
+    boolean isLeaf() { return true; }
+    int color() { return 0; }
+    RBTree left() { throw new IllegalStateException(); }
+    int key() { throw new IllegalStateException(); }
+    Object val() { throw new IllegalStateException(); }
+    RBTree right() { throw new IllegalStateException(); }
+}
+class RBNode extends RBTree {
+    private final int color;
+    private final RBTree left;
+    private final int key;
+    private final Object val;
+    private final RBTree right;
+    RBNode(int color, RBTree left, int key, Object val, RBTree right) {
+        this.color = color;
+        this.left = left;
+        this.key = key;
+        this.val = val;
+        this.right = right;
+    }
+    boolean isLeaf() { return false; }
+    int color() { return color; }
+    RBTree left() { return left; }
+    int key() { return key; }
+    Object val() { return val; }
+    RBTree right() { return right; }
+    static boolean isRed(RBTree t) { return !t.isLeaf() && t.color() == 1; }
+    static RBTree balance(int c, RBTree l, int k, Object v, RBTree r) {
+        if (c == 1) {
+            if (isRed(l) && isRed(l.left())) {
+                RBTree ll = l.left();
+                return new RBNode(1,
+                    new RBNode(0, ll.left(), ll.key(), ll.val(), ll.right()),
+                    l.key(), l.val(),
+                    new RBNode(0, l.right(), k, v, r));
+            }
+            if (isRed(l) && isRed(l.right())) {
+                RBTree lr = l.right();
+                return new RBNode(1,
+                    new RBNode(0, l.left(), l.key(), l.val(), lr.left()),
+                    lr.key(), lr.val(),
+                    new RBNode(0, lr.right(), k, v, r));
+            }
+            if (isRed(r) && isRed(r.left())) {
+                RBTree rl = r.left();
+                return new RBNode(1,
+                    new RBNode(0, l, k, v, rl.left()),
+                    rl.key(), rl.val(),
+                    new RBNode(0, rl.right(), r.key(), r.val(), r.right()));
+            }
+            if (isRed(r) && isRed(r.right())) {
+                RBTree rr = r.right();
+                return new RBNode(1,
+                    new RBNode(0, l, k, v, r.left()),
+                    r.key(), r.val(),
+                    new RBNode(0, rr.left(), rr.key(), rr.val(), rr.right()));
+            }
+        }
+        return new RBNode(c, l, k, v, r);
+    }
+    static RBTree insert(RBTree t, int k, Object v) {
+        if (t.isLeaf()) {
+            return new RBNode(0, new RBLeaf(), k, v, new RBLeaf());
+        }
+        if (k < t.key()) {
+            return balance(t.color(), insert(t.left(), k, v), t.key(),
+                           t.val(), t.right());
+        }
+        if (k == t.key()) {
+            return new RBNode(t.color(), t.left(), k, v, t.right());
+        }
+        return balance(t.color(), t.left(), t.key(), t.val(),
+                       insert(t.right(), k, v));
+    }
+    static boolean has(RBTree t, int k) {
+        if (t.isLeaf()) return false;
+        if (k < t.key()) return has(t.left(), k);
+        if (k == t.key()) return true;
+        return has(t.right(), k);
+    }
+}
+"""
+
+ROWS = {
+    "Nat": NAT,
+    "ZNat": ZNAT,
+    "PZero": PZERO,
+    "PSucc": PSUCC,
+    "List": LIST,
+    "EmptyList": EMPTY_LIST,
+    "ConsList": CONS_LIST,
+    "SnocList": SNOC_LIST,
+    "ArrList": ARR_LIST,
+    "Expr": EXPR,
+    "Variable": VARIABLE,
+    "Lambda": LAMBDA,
+    "TypedLambda": TYPED_LAMBDA,
+    "Apply": APPLY,
+    "CPS": CPS,
+    "Type": TYPE,
+    "BaseType": BASE_TYPE,
+    "ArrowType": ARROW_TYPE,
+    "UnknownType": UNKNOWN_TYPE,
+    "Environment": ENVIRONMENT,
+    "Tree": TREE,
+    "TreeLeaf": TREE_LEAF,
+    "TreeBranch": TREE_BRANCH,
+    "AVLTree": AVL_TREE,
+    "ArrayList": ARRAY_LIST,
+    "LinkedList": LINKED_LIST,
+    "HashMap": HASH_MAP,
+    "TreeMap": TREE_MAP,
+}

@@ -1,0 +1,173 @@
+"""Immutable lists: four interoperating implementations (Figure 12).
+
+* ``EmptyList`` -- the empty list,
+* ``ConsList``  -- regular cons cells,
+* ``SnocList``  -- element appended at the end,
+* ``ArrList``   -- an index into a shared backing store (our stand-in
+  for the paper's shared-array representation: tails share the store).
+
+All four support ``nil``/``cons``/``snoc``/``reverse`` as multimodal
+named constructors, so ``snoc`` and ``reverse`` work as *patterns*
+(the paper's ``case snoc(List t, _)`` and ``let l = reverse(List r)``).
+``rev`` is a static helper with a ``matches(true)`` guarantee and an
+involution ``ensures`` clause, which is exactly what lets the
+``reverse`` constructors verify total.
+"""
+
+LIST_INTERFACE = """\
+interface List {
+  invariant(this = nil() | cons(_, _));
+  constructor nil() matches(notall(result)) returns();
+  constructor cons(Object hd, List tl)
+    matches(notall(result)) returns(hd, tl);
+  constructor snoc(List hd, Object tl)
+    matches ensures(cons(_, _)) returns(hd, tl);
+  constructor equals(List l);
+  constructor reverse(List l) matches(true) returns(l);
+  boolean contains(Object elem) iterates(elem);
+  int size() ensures(result >= 0);
+}
+"""
+
+EMPTY_LIST = """\
+class EmptyList implements List {
+  constructor nil() returns()
+    ( true )
+  constructor cons(Object hd, List tl) returns(hd, tl)
+    ( false )
+  constructor snoc(List hd, Object tl) returns(hd, tl)
+    ( false )
+  constructor equals(List l)
+    ( l.nil() )
+  constructor reverse(List l) matches(true) returns(l)
+    ( l = rev(result) && result = rev(l) )
+  boolean contains(Object elem) iterates(elem)
+    ( false )
+  int size() ensures(result >= 0)
+    ( result = 0 )
+}
+"""
+
+CONS_LIST = """\
+class ConsList implements List {
+  Object hd;
+  List tl;
+  constructor nil() returns()
+    ( false )
+  constructor cons(Object h, List t) returns(h, t)
+    ( hd = h && tl = t )
+  constructor snoc(List h, Object t) returns(h, t)
+    ( h = EmptyList.nil() && cons(t, h)
+    | h = cons(Object hh, List ht) && cons(hh, snoc(ht, t)) )
+  constructor equals(List l)
+    ( cons(Object h, List t) && l.cons(h, t) )
+  constructor reverse(List l) matches(true) returns(l)
+    ( l = rev(result) && result = rev(l) )
+  boolean contains(Object elem) iterates(elem)
+    ( cons(Object h, List t) && (elem = h || t.contains(elem)) )
+  int size() ensures(result >= 0)
+    ( cons(_, List t) && result = t.size() + 1 )
+}
+"""
+
+SNOC_LIST = """\
+class SnocList implements List {
+  List front;
+  Object back;
+  constructor nil() returns()
+    ( false )
+  constructor cons(Object h, List t) returns(h, t)
+    ( front.nil() && h = back && t = front
+    | front = cons(Object h2, List t2) && h = h2 && t = snoc(t2, back) )
+  constructor snoc(List h, Object t) returns(h, t)
+    ( front = h && back = t )
+  constructor equals(List l)
+    ( cons(Object h, List t) && l.cons(h, t) )
+  constructor reverse(List l) matches(true) returns(l)
+    ( l = rev(result) && result = rev(l) )
+  boolean contains(Object elem) iterates(elem)
+    ( snoc(List f, Object b) && (elem = b || f.contains(elem)) )
+  int size() ensures(result >= 0)
+    ( snoc(List f, _) && result = f.size() + 1 )
+}
+"""
+
+ARR_LIST = """\
+class Store {
+  Object head;
+  Store rest;
+  constructor put(Object v, Store r) returns(v, r)
+    ( head = v && rest = r )
+}
+class ArrList implements List {
+  Store store;
+  int len;
+  private invariant(len >= 0);
+  private ArrList(Store s, int n) matches ensures(n >= 0) returns(s, n)
+    ( store = s && len = n && n >= 0 )
+  constructor nil() returns()
+    ( len = 0 && store = null )
+  constructor cons(Object h, List t) returns(h, t)
+    ( len >= 1 && store = Store.put(h, Store r) && ArrList(r, len - 1) = t )
+  constructor snoc(List h, Object t) returns(h, t)
+    ( h = EmptyList.nil() && cons(t, h)
+    | h = cons(Object hh, List ht) && cons(hh, snoc(ht, t)) )
+  constructor equals(List l)
+    ( nil() && l.nil() | cons(Object h, List t) && l.cons(h, t) )
+  constructor reverse(List l) matches(true) returns(l)
+    ( l = rev(result) && result = rev(l) )
+  boolean contains(Object elem) iterates(elem)
+    ( cons(Object h, List t) && (elem = h || t.contains(elem)) )
+  int size() ensures(result >= 0)
+    ( result = len )
+}
+"""
+
+FUNCTIONS = """\
+static List rev(List l) matches(true) ensures(l = rev(result)) {
+  switch (l) {
+    case nil(): return l;
+    case cons(Object h, List t): return ConsList.snoc(rev(t), h);
+  }
+}
+
+static int length(List l) {
+  switch (l) {
+    case nil(): return 0;
+    case cons(_, List t): return length(t) + 1;
+  }
+}
+
+static List append(List a, List b) {
+  switch (a) {
+    case nil(): return b;
+    case cons(Object h, List t): return ConsList.cons(h, append(t, b));
+  }
+}
+"""
+
+#: Figure 12's deliberately redundant `length`: the cons case can never
+#: be reached after the snoc case, because snoc ensures cons(_, _).
+LENGTH_REDUNDANT = """\
+static int lengthRedundant(List l) {
+  switch (l) {
+    case nil(): return 0;
+    case snoc(List t, _): return lengthRedundant(t) + 1;
+    case cons(_, List t): return lengthRedundant(t) + 1;
+  }
+}
+"""
+
+ROWS = {
+    "List": LIST_INTERFACE,
+    "EmptyList": EMPTY_LIST,
+    "ConsList": CONS_LIST,
+    "SnocList": SNOC_LIST,
+    "ArrList": ARR_LIST,
+}
+
+PROGRAM = (
+    LIST_INTERFACE + EMPTY_LIST + CONS_LIST + SNOC_LIST + ARR_LIST + FUNCTIONS
+)
+
+PROGRAM_WITH_REDUNDANT = PROGRAM + LENGTH_REDUNDANT

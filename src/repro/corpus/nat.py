@@ -1,0 +1,97 @@
+"""Natural numbers: the paper's running example (Figures 1-4, 7).
+
+Three interoperating implementations of the ``Nat`` interface:
+``ZNat`` (an int under the hood), and the Peano pair ``PZero`` /
+``PSucc``.  Equality constructors shift views between them
+(Section 3.2), so ``PSucc.succ(ZNat(3))`` "is legal!".
+"""
+
+NAT_INTERFACE = """\
+interface Nat {
+  invariant(this = zero() | succ(_));
+  constructor zero() matches(notall(result)) returns();
+  constructor succ(Nat n) matches(notall(result)) returns(n);
+  constructor equals(Nat n);
+}
+"""
+
+ZNAT = """\
+class ZNat implements Nat {
+  int val;
+  private invariant(val >= 0);
+  private ZNat(int n) matches ensures(n >= 0) returns(n)
+    ( val = n && n >= 0 )
+  constructor zero() returns()
+    ( val = 0 )
+  constructor succ(Nat n) returns(n)
+    ( val >= 1 && ZNat(val - 1) = n )
+  constructor equals(Nat n)
+    ( zero() && n.zero() | succ(Nat y) && n.succ(y) )
+  boolean greater(Nat x) iterates(x)
+    ( this = succ(Nat y) && (y = x || y.greater(x)) )
+  int toInt()
+    ( result = val )
+}
+"""
+
+PZERO = """\
+class PZero implements Nat {
+  constructor zero() returns()
+    ( true )
+  constructor succ(Nat n) returns(n)
+    ( false )
+  constructor equals(Nat n)
+    ( n.zero() )
+  int toInt()
+    ( result = 0 )
+}
+"""
+
+PSUCC = """\
+class PSucc implements Nat {
+  Nat pred;
+  constructor zero() returns()
+    ( false )
+  constructor succ(Nat n) returns(n)
+    ( pred = n )
+  constructor equals(Nat n)
+    ( n.succ(pred) )
+  int toInt()
+    ( result = pred.toInt() + 1 )
+}
+"""
+
+FUNCTIONS = """\
+static Nat plus(Nat m, Nat n) {
+  switch (m, n) {
+    case (zero(), Nat x):
+    case (x, zero()):
+      return x;
+    case (succ(Nat k), _):
+      return plus(k, ZNat.succ(n));
+  }
+}
+
+static Nat times(Nat m, Nat n) {
+  switch (m) {
+    case zero(): return PZero.zero();
+    case succ(Nat k): return plus(n, times(k, n));
+  }
+}
+
+static boolean isZero(Nat n) {
+  switch (n) {
+    case zero(): return true;
+    case succ(_): return false;
+  }
+}
+"""
+
+ROWS = {
+    "Nat": NAT_INTERFACE,
+    "ZNat": ZNAT,
+    "PZero": PZERO,
+    "PSucc": PSUCC,
+}
+
+PROGRAM = NAT_INTERFACE + ZNAT + PZERO + PSUCC + FUNCTIONS

@@ -1,0 +1,41 @@
+"""Runtime builtins needed by the corpus programs.
+
+``freshVar(prefix, e)`` must be *deterministic in its arguments*: the
+backward mode of CPS re-solves the same formula and tests the variable
+it matched against a regenerated one, so two calls with the same
+expression must produce the same name.  We pick the first of
+``prefix, prefix0, prefix1, ...`` not occurring free in ``e``.
+"""
+
+from __future__ import annotations
+
+from ..runtime import Interpreter, JObject, Value
+
+
+def _names_in(value: Value, out: set[str]) -> None:
+    if isinstance(value, JObject):
+        if value.class_name == "Var" and isinstance(value.fields.get("name"), str):
+            out.add(value.fields["name"])
+        for field_value in value.fields.values():
+            _names_in(field_value, out)
+    elif isinstance(value, tuple):
+        for item in value:
+            _names_in(item, out)
+
+
+def fresh_var(prefix: str, expr: Value) -> JObject:
+    """A Var object whose name does not occur in ``expr``."""
+    used: set[str] = set()
+    _names_in(expr, used)
+    if prefix not in used:
+        return JObject("Var", {"name": prefix})
+    index = 0
+    while f"{prefix}{index}" in used:
+        index += 1
+    return JObject("Var", {"name": f"{prefix}{index}"})
+
+
+def install_builtins(interp: Interpreter) -> Interpreter:
+    """Register corpus builtins on an interpreter; returns it."""
+    interp.register_builtin("freshVar", fresh_var)
+    return interp

@@ -1,0 +1,133 @@
+"""Binary trees and AVL rebalancing (Figure 13).
+
+The interesting verification target: ``rebalance``'s four-arm ``cond``
+is exhaustive *given* the Tree invariant, the ``ensures`` clause of
+``branch`` (relating a branch's height to its children's), and the
+path condition that the input is unbalanced.  This was the paper's
+most expensive verification (AVLTree: 18.7 s with their prototype).
+"""
+
+TREE_INTERFACE = """\
+interface Tree {
+  invariant(leaf() | branch(_, _, _));
+  constructor leaf()
+    matches(height() = 0) ensures(height() = 0) returns();
+  constructor branch(Tree l, int v, Tree r)
+    matches(height() > 0)
+    ensures(height() > 0 &&
+            (height() = l.height() + 1 && height() > r.height()
+             || height() > l.height() && height() = r.height() + 1))
+    returns(l, v, r);
+  int height() ensures(result >= 0);
+}
+"""
+
+TREE_LEAF = """\
+class TreeLeaf implements Tree {
+  constructor leaf() returns()
+    ( true )
+  constructor branch(Tree l, int v, Tree r) returns(l, v, r)
+    ( false )
+  int height() ensures(result >= 0)
+    ( result = 0 )
+}
+"""
+
+TREE_BRANCH = """\
+class TreeBranch implements Tree {
+  Tree left;
+  int value;
+  Tree right;
+  int h;
+  private invariant(h >= 1);
+  constructor leaf() returns()
+    ( false )
+  constructor branch(Tree l, int v, Tree r) returns(l, v, r)
+    ( left = l && value = v && right = r &&
+      (h = l.height() + 1 && l.height() >= r.height()
+       || h = r.height() + 1 && r.height() > l.height()) )
+  int height() ensures(result >= 0)
+    ( result = h )
+}
+"""
+
+AVL_TREE = """\
+class AVLTree {
+  Tree root;
+  AVLTree(Tree t) returns(t)
+    ( root = t )
+  boolean has(int x)
+    ( member(root, x) )
+  AVLTree add(int x)
+    ( result = AVLTree(insert(root, x)) )
+}
+
+static Tree rebalance(Tree l, int v, Tree r) {
+  if (l.height() - r.height() > 1 || r.height() - l.height() > 1)
+    cond {
+      (l.height() - r.height() > 1
+       && l = branch(Tree ll, int y, Tree c)
+       && ll = branch(Tree a, int x, Tree b)
+       && ll.height() >= c.height()
+       && int z = v && Tree d = r)
+      { return TreeBranch.branch(TreeBranch.branch(a, x, b), y,
+                                 TreeBranch.branch(c, z, d)); }
+      (l.height() - r.height() > 1
+       && l = branch(Tree a, int x, Tree lr)
+       && lr = branch(Tree b, int y, Tree c)
+       && a.height() < lr.height()
+       && int z = v && Tree d = r)
+      { return TreeBranch.branch(TreeBranch.branch(a, x, b), y,
+                                 TreeBranch.branch(c, z, d)); }
+      (r.height() - l.height() > 1
+       && Tree a = l && int x = v
+       && r = branch(Tree rl, int z, Tree d)
+       && rl = branch(Tree b, int y, Tree c)
+       && rl.height() > d.height())
+      { return TreeBranch.branch(TreeBranch.branch(a, x, b), y,
+                                 TreeBranch.branch(c, z, d)); }
+      (r.height() - l.height() > 1
+       && Tree a = l && int x = v
+       && r = branch(Tree b, int y, Tree rr)
+       && rr = branch(Tree c, int z, Tree d)
+       && b.height() <= rr.height())
+      { return TreeBranch.branch(TreeBranch.branch(a, x, b), y,
+                                 TreeBranch.branch(c, z, d)); }
+    }
+  return TreeBranch.branch(l, v, r);
+}
+
+static Tree insert(Tree t, int x) {
+  switch (t) {
+    case leaf():
+      return TreeBranch.branch(TreeLeaf.leaf(), x, TreeLeaf.leaf());
+    case branch(Tree l, int v, Tree r):
+      cond {
+        (x < v) { return rebalance(insert(l, x), v, r); }
+        (x = v) { return t; }
+        (x > v) { return rebalance(l, v, insert(r, x)); }
+      }
+  }
+}
+
+static boolean member(Tree t, int x) {
+  switch (t) {
+    case leaf(): return false;
+    case branch(Tree l, int v, Tree r):
+      cond {
+        (x < v) { return member(l, x); }
+        (x = v) { return true; }
+        (x > v) { return member(r, x); }
+      }
+  }
+}
+"""
+
+ROWS = {
+    "Tree": TREE_INTERFACE,
+    "TreeLeaf": TREE_LEAF,
+    "TreeBranch": TREE_BRANCH,
+    "AVLTree": AVL_TREE,
+}
+
+PROGRAM = TREE_INTERFACE + TREE_LEAF + TREE_BRANCH + AVL_TREE

@@ -1,0 +1,123 @@
+"""Unification-based type inference over the lambda-calculus ASTs.
+
+Types are an abstract ``Type`` interface with three implementations
+(base types, arrows, and inference unknowns); environments are linked
+bindings with an iterative ``lookup`` mode.  ``infer`` walks the AST
+(placed outside the node classes in this subset, but switching on the
+same named patterns) and ``unify`` resolves unknowns via a
+substitution list.
+"""
+
+TYPE_INTERFACE = """\
+interface Type {
+  invariant(this = BaseType _ | ArrowType _ | UnknownType _);
+  constructor equals(Type t);
+}
+"""
+
+BASE_TYPE = """\
+class BaseType implements Type {
+  String name;
+  BaseType(String n) matches(true) returns(n)
+    ( name = n )
+  constructor equals(Type t)
+    ( BaseType(String n2) = t && name = n2 )
+}
+"""
+
+ARROW_TYPE = """\
+class ArrowType implements Type {
+  Type from;
+  Type to;
+  ArrowType(Type f, Type t) matches(true) returns(f, t)
+    ( from = f && to = t )
+  constructor equals(Type t)
+    ( ArrowType(Type f2, Type t2) = t && from = f2 && to = t2 )
+}
+"""
+
+UNKNOWN_TYPE = """\
+class UnknownType implements Type {
+  int id;
+  UnknownType(int i) matches(true) returns(i)
+    ( id = i )
+  constructor equals(Type t)
+    ( UnknownType(int i2) = t && id = i2 )
+}
+"""
+
+ENVIRONMENT = """\
+class Environment {
+  Var key;
+  Type val;
+  Environment next;
+  Environment(Var k, Type v, Environment n) matches(true) returns(k, v, n)
+    ( key = k && val = v && next = n )
+  boolean lookup(Var x, Type t) iterates(x, t)
+    ( x = key && t = val || next != null && next.lookup(x, t) )
+}
+
+static Environment bind(Environment env, Var x, Type t) {
+  return Environment(x, t, env);
+}
+"""
+
+INFER = """\
+static boolean unifies(Type a, Type b) {
+  cond {
+    (UnknownType _ = a) { return true; }
+    (UnknownType _ = b) { return true; }
+    (BaseType(String n1) = a && BaseType(String n2) = b)
+      { return n1 = n2; }
+    (ArrowType(Type f1, Type t1) = a && ArrowType(Type f2, Type t2) = b)
+      { return unifies(f1, f2) && unifies(t1, t2); }
+    else return false;
+  }
+}
+
+static Type infer(Environment env, Expr e, int depth) {
+  switch (e) {
+    case Var _:
+      cond {
+        (env != null && env.lookup(Var xv, Type t) && xv = e) { return t; }
+        else return UnknownType(depth);
+      }
+    case TypedLambda(Var v, Type t, Expr body):
+      return ArrowType(t, infer(bind(env, v, t), body, depth + 1));
+    case Lambda(Var v, Expr body):
+      let Type a = UnknownType(depth);
+      return ArrowType(a, infer(bind(env, v, a), body, depth + 1));
+    case Apply(Expr fn, Expr arg):
+      cond {
+        (ArrowType(Type from, Type to) = infer(env, fn, depth)
+         && unifies(from, infer(env, arg, depth)))
+          { return to; }
+        else return UnknownType(depth);
+      }
+  }
+}
+"""
+
+ROWS = {
+    "Type": TYPE_INTERFACE,
+    "BaseType": BASE_TYPE,
+    "ArrowType": ARROW_TYPE,
+    "UnknownType": UNKNOWN_TYPE,
+    "Environment": ENVIRONMENT,
+}
+
+from .cps import APPLY, EXPR_INTERFACE, LAMBDA, TYPED_LAMBDA, VARIABLE
+
+PROGRAM = (
+    EXPR_INTERFACE
+    + VARIABLE
+    + LAMBDA
+    + TYPED_LAMBDA
+    + APPLY
+    + TYPE_INTERFACE
+    + BASE_TYPE
+    + ARROW_TYPE
+    + UNKNOWN_TYPE
+    + ENVIRONMENT
+    + INFER
+)

@@ -1,0 +1,6 @@
+"""Front end for the JMatch 2.0 language subset."""
+
+from .check import analyze
+from .parser import parse_formula, parse_program
+
+__all__ = ["analyze", "parse_formula", "parse_program"]

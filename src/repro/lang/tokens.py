@@ -1,0 +1,109 @@
+"""Token definitions for the JMatch 2.0 subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import Span
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    INT_LIT = "int literal"
+    STRING_LIT = "string literal"
+    KEYWORD = "keyword"
+    OPERATOR = "operator"
+    EOF = "end of input"
+
+
+KEYWORDS = frozenset(
+    {
+        "abstract",
+        "as",
+        "boolean",
+        "case",
+        "class",
+        "cond",
+        "constructor",
+        "default",
+        "else",
+        "ensures",
+        "extends",
+        "false",
+        "foreach",
+        "if",
+        "implements",
+        "int",
+        "interface",
+        "invariant",
+        "iterates",
+        "let",
+        "matches",
+        "new",
+        "notall",
+        "null",
+        "private",
+        "protected",
+        "public",
+        "return",
+        "returns",
+        "static",
+        "switch",
+        "this",
+        "true",
+        "where",
+        "while",
+    }
+)
+
+# Multi-character operators first so the lexer applies maximal munch.
+OPERATORS = (
+    "&&",
+    "||",
+    "!=",
+    "<=",
+    ">=",
+    "==",
+    "=",
+    "<",
+    ">",
+    "!",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+    ".",
+    "#",
+    "|",
+    "_",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    span: Span
+
+    @property
+    def is_eof(self) -> bool:
+        return self.kind == TokenKind.EOF
+
+    def matches(self, kind: TokenKind, text: str | None = None) -> bool:
+        return self.kind == kind and (text is None or self.text == text)
+
+    def __str__(self) -> str:
+        if self.kind == TokenKind.EOF:
+            return "<eof>"
+        return self.text

@@ -1,0 +1,19 @@
+"""Measurement utilities for reproducing the paper's evaluation."""
+
+from .tokens import (
+    TokenRow,
+    average_reduction,
+    count_java_tokens,
+    count_jmatch_tokens,
+    strip_spec_clauses,
+    table1_rows,
+)
+
+__all__ = [
+    "TokenRow",
+    "average_reduction",
+    "count_java_tokens",
+    "count_jmatch_tokens",
+    "strip_spec_clauses",
+    "table1_rows",
+]

@@ -1,0 +1,109 @@
+"""Language-token counting for the Table 1 comparison.
+
+The paper "assess[es] the expressiveness of JMatch 2.0 by comparing the
+number of language tokens needed to implement each of the examples".
+JMatch sources are counted with the real lexer; Java baselines with a
+small Java scanner (same token classes: identifiers, keywords,
+literals, operators/punctuation; comments and whitespace excluded).
+
+The interface rows are additionally counted *without* their matches
+and ensures clauses, reproducing Table 1's parenthesised numbers (the
+annotation burden of the new specifications).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..lang.lexer import tokenize
+
+_JAVA_TOKEN = re.compile(
+    r"""
+      //[^\n]*                      # line comment
+    | /\*.*?\*/                     # block comment
+    | "(?:\\.|[^"\\])*"             # string literal
+    | '(?:\\.|[^'\\])'              # char literal
+    | [A-Za-z_$][A-Za-z0-9_$]*      # identifier / keyword
+    | \d+(?:\.\d+)?[fLdF]?          # number
+    | \+\+|--|&&|\|\||<<|>>>|>>|<=|>=|==|!=|\+=|-=|\*=|/=|%=|&=|\|=|\^=|->
+    | [{}()\[\];,.<>+\-*/%=!&|^~?:@]
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_COMMENT_KINDS = ("//", "/*")
+
+
+def count_java_tokens(source: str) -> int:
+    """Number of Java language tokens (comments excluded)."""
+    count = 0
+    for match in _JAVA_TOKEN.finditer(source):
+        text = match.group(0)
+        if text.startswith(_COMMENT_KINDS):
+            continue
+        count += 1
+    return count
+
+
+def count_jmatch_tokens(source: str) -> int:
+    """Number of JMatch tokens, via the real lexer."""
+    return len(tokenize(source)) - 1  # drop EOF
+
+
+_SPEC_CLAUSE = re.compile(
+    r"\b(?:matches\s+ensures|matches|ensures)\s*\((?:[^()]|\([^()]*\))*\)\s*"
+)
+
+
+def strip_spec_clauses(source: str) -> str:
+    """Remove matches/ensures clauses (for the parenthesised counts)."""
+    return _SPEC_CLAUSE.sub("", source)
+
+
+@dataclass
+class TokenRow:
+    """One Table 1 row."""
+
+    name: str
+    jmatch: int
+    jmatch_without_specs: int | None
+    java: int
+
+    @property
+    def ratio(self) -> float:
+        return self.jmatch / self.java if self.java else float("inf")
+
+
+def table1_rows() -> list[TokenRow]:
+    """Token counts for every implementation in the corpus."""
+    from ..corpus import java_rows, jmatch_rows
+
+    jm = jmatch_rows()
+    java = java_rows()
+    rows: list[TokenRow] = []
+    for name in jm:
+        source = jm[name]
+        without = None
+        stripped = strip_spec_clauses(source)
+        if stripped != source:
+            without = count_jmatch_tokens(stripped)
+        rows.append(
+            TokenRow(
+                name,
+                count_jmatch_tokens(source),
+                without,
+                count_java_tokens(java.get(name, "")),
+            )
+        )
+    return rows
+
+
+def average_reduction(rows: list[TokenRow]) -> float:
+    """Mean percentage by which JMatch is shorter than Java.
+
+    The paper reports 42.5% for its corpus; the shape (a substantial
+    positive reduction) is the reproduction target.
+    """
+    reductions = [1 - r.jmatch / r.java for r in rows if r.java]
+    return 100 * sum(reductions) / len(reductions) if reductions else 0.0

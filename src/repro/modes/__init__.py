@@ -1,0 +1,12 @@
+"""Modal abstraction machinery: modes, atom ordering, multiplicity."""
+
+from .mode import FORWARD, PREDICATE, RESULT, Mode, modes_of_method, select_mode
+
+__all__ = [
+    "FORWARD",
+    "PREDICATE",
+    "RESULT",
+    "Mode",
+    "modes_of_method",
+    "select_mode",
+]

@@ -1,0 +1,14 @@
+"""Executable semantics: values and the generator-based solver."""
+
+from .interp import Interpreter, java_div, java_mod
+from .values import JObject, Value, render, structurally_equal
+
+__all__ = [
+    "Interpreter",
+    "JObject",
+    "Value",
+    "java_div",
+    "java_mod",
+    "render",
+    "structurally_equal",
+]

@@ -1,0 +1,1254 @@
+"""The JMatch runtime: solving formulas by generator-based search.
+
+This module realises the semantics of Section 2.3.  The paper defines
+pattern matching by three mutually recursive translations into a
+coroutine language (Java_yield); Python generators are the direct
+analogue, so we implement the translations as interpreting generators:
+
+* :meth:`Interpreter.solve` -- the F translation: enumerate
+  environments binding the unknowns of a formula;
+* :meth:`Interpreter.match` -- the M translation: match a pattern
+  against a known value;
+* :meth:`Interpreter.eval_pattern` -- the P translation: produce the
+  value of a pattern (possibly creating objects) together with
+  bindings for its unknowns.
+
+Modal abstraction enters through method calls: the interpreter picks a
+declared mode whose unknowns cover the call site's unknown arguments
+(Section 2.1), then solves the method's declarative body in that mode.
+Named constructors dispatch on the run-time class of the matched value
+(Section 3.1), and equality constructors convert values across
+implementations when an ``instanceof`` test fails (Sections 3.2, 6.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..errors import EvalError, MatchFailure, NO_SPAN
+from ..lang import ast
+from ..lang.symbols import MethodInfo, ProgramTable
+from ..modes.mode import RESULT, Mode, select_mode
+from ..modes.ordering import (
+    SolvabilityContext,
+    all_vars,
+    conjuncts_of,
+    is_evaluable,
+    order_conjuncts,
+)
+from .values import JObject, Value, render, structurally_equal
+
+Env = dict[str, Value]
+
+
+def type_key(name: str) -> str:
+    """Environment key recording a variable's static type.
+
+    The embedded space keeps these keys disjoint from identifiers, so
+    solvability analyses that treat ``set(env)`` as the bound-variable
+    set are unaffected.
+    """
+    return f"{name} :type"
+
+
+@dataclass
+class _Return(Exception):
+    """Non-local exit carrying a return value."""
+
+    value: Value
+
+
+def java_div(a: int, b: int) -> int:
+    """Java's `/` truncates toward zero."""
+    if b == 0:
+        raise EvalError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def java_mod(a: int, b: int) -> int:
+    """Java's `%` takes the dividend's sign."""
+    return a - java_div(a, b) * b
+
+
+class Interpreter:
+    """Executes a checked program."""
+
+    def __init__(self, table: ProgramTable):
+        self.table = table
+        self.builtins: dict[str, Callable[..., Value]] = {}
+        self._fresh_counter = itertools.count()
+        #: in-flight equality-constructor conversions, to stop the
+        #: instanceof-failure fallback from re-entering itself
+        self._converting: set[tuple[str, int]] = set()
+        self._install_default_builtins()
+
+    def _install_default_builtins(self) -> None:
+        self.builtins["print"] = lambda *args: print(*(render(a) for a in args))
+
+    def register_builtin(self, name: str, fn: Callable[..., Value]) -> None:
+        """Expose a Python callable as a forward-mode function."""
+        self.builtins[name] = fn
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def run_function(self, name: str, *args: Value) -> Value:
+        """Invoke a top-level function in its forward mode."""
+        info = self.table.lookup_function(name)
+        if info is None:
+            raise EvalError(f"unknown function {name}")
+        return self._invoke_forward(info, receiver=None, args=list(args))
+
+    def construct(self, class_name: str, ctor: str, *args: Value) -> JObject:
+        """``Class.ctor(args)`` -- creation mode of a named constructor."""
+        method = self.table.lookup_method(class_name, ctor)
+        if method is None:
+            raise EvalError(f"no constructor {class_name}.{ctor}")
+        value = self._invoke_forward(method, receiver=None, args=list(args),
+                                     creation_class=class_name)
+        assert isinstance(value, JObject)
+        return value
+
+    def new(self, class_name: str, *args: Value) -> JObject:
+        """Invoke a class constructor: ``new ZNat(3)``."""
+        method = self.table.lookup_method(class_name, class_name)
+        if method is None:
+            if not args:
+                return JObject(class_name)
+            raise EvalError(f"no class constructor for {class_name}")
+        value = self._invoke_forward(method, receiver=None, args=list(args),
+                                     creation_class=class_name)
+        assert isinstance(value, JObject)
+        return value
+
+    def invoke(self, receiver: JObject, name: str, *args: Value) -> Value:
+        """Forward-mode method call on an object."""
+        method = self.table.lookup_method(receiver.class_name, name)
+        if method is None:
+            raise EvalError(f"no method {receiver.class_name}.{name}")
+        return self._invoke_forward(method, receiver=receiver, args=list(args))
+
+    def solutions(
+        self, formula: ast.Expr, env: Env | None = None, owner: str | None = None
+    ) -> Iterator[Env]:
+        """Enumerate solutions of a formula (the F translation).
+
+        Applies disjunction normalisation first, so raw
+        :func:`repro.lang.parse_formula` output can be passed directly.
+        """
+        from ..lang.check import normalize_formula
+
+        formula = normalize_formula(formula, self.table, owner)
+        return self.solve(formula, dict(env or {}), owner)
+
+    # ------------------------------------------------------------------
+    # F: solving formulas
+    # ------------------------------------------------------------------
+
+    def solve(self, f: ast.Expr, env: Env, owner: str | None) -> Iterator[Env]:
+        if isinstance(f, ast.Lit):
+            if f.value is True:
+                yield env
+            elif f.value is False:
+                return
+            else:
+                raise EvalError(f"{f} is not a formula", f.span)
+            return
+        if isinstance(f, ast.Binary):
+            if f.op == "&&":
+                yield from self._solve_conjunction(conjuncts_of(f), env, owner)
+                return
+            if f.op == "||":
+                yield from self.solve(f.left, env, owner)
+                yield from self.solve(f.right, env, owner)
+                return
+            if f.op == "=":
+                yield from self._solve_eq(f.left, f.right, env, owner)
+                return
+            if f.op in ("!=", "<", "<=", ">", ">="):
+                left = self.eval(f.left, env, owner)
+                right = self.eval(f.right, env, owner)
+                if self._compare(f.op, left, right):
+                    yield env
+                return
+            raise EvalError(f"cannot solve {f}", f.span)
+        if isinstance(f, ast.PatOr):
+            # Formula-level # and |: try every alternative (Section 3.3).
+            yield from self.solve(f.left, env, owner)
+            yield from self.solve(f.right, env, owner)
+            return
+        if isinstance(f, ast.Not):
+            for _ in self.solve(f.operand, dict(env), owner):
+                return
+            yield env
+            return
+        if isinstance(f, ast.Where):
+            for env1 in self.solve(f.pattern, env, owner):
+                yield from self.solve(f.condition, env1, owner)
+            return
+        if isinstance(f, ast.Call):
+            yield from self._solve_call(f, env, owner)
+            return
+        if isinstance(f, (ast.Var, ast.FieldAccess)):
+            if self.eval(f, env, owner) is True:
+                yield env
+            return
+        if isinstance(f, ast.NotAll):
+            raise EvalError(
+                "notall is a specification-only predicate (Section 4.4)", f.span
+            )
+        raise EvalError(f"cannot solve {f}", f.span)
+
+    def _solve_conjunction(
+        self, atoms: list[ast.Expr], env: Env, owner: str | None
+    ) -> Iterator[Env]:
+        ctx = SolvabilityContext(self.table, owner)
+        ordering = order_conjuncts(atoms, set(env), ctx)
+        if ordering.unsolvable:
+            bad = ordering.unsolvable[0]
+            raise EvalError(
+                f"formula not solvable in this mode: {bad}", bad.span
+            )
+
+        def run(index: int, current: Env) -> Iterator[Env]:
+            if index == len(ordering.solved):
+                yield current
+                return
+            for env1 in self.solve(ordering.solved[index], current, owner):
+                yield from run(index + 1, env1)
+
+        yield from run(0, env)
+
+    def _solve_eq(
+        self, p1: ast.Expr, p2: ast.Expr, env: Env, owner: str | None
+    ) -> Iterator[Env]:
+        # Tuple = tuple splits into component equations, solved in the
+        # standard reordered fashion ("uses of tuple patterns are
+        # equivalent to a set of equations over the tuple components").
+        if (
+            isinstance(p1, ast.TupleExpr)
+            and isinstance(p2, ast.TupleExpr)
+            and len(p1.items) == len(p2.items)
+        ):
+            equations = [
+                ast.Binary("=", a, b, span=a.span)
+                for a, b in zip(p1.items, p2.items)
+            ]
+            yield from self._solve_conjunction(equations, env, owner)
+            return
+        # `(p where f) = q` is the conjunction `p = q && f`, with the
+        # refinement participating in atom reordering: in some modes the
+        # where-formula must solve variables the pattern consumes
+        # (Figure 5's `where Var f = freshVar("f", arg)`).
+        from ..modes.ordering import _eq_atoms
+
+        if isinstance(p1, ast.Where):
+            atoms = _eq_atoms(p1.pattern, p2) + [p1.condition]
+            yield from self._solve_conjunction(atoms, env, owner)
+            return
+        if isinstance(p2, ast.Where):
+            atoms = _eq_atoms(p1, p2.pattern) + [p2.condition]
+            yield from self._solve_conjunction(atoms, env, owner)
+            return
+        bound = set(env)
+        if is_evaluable(p1, bound):
+            try:
+                value = self.eval(p1, env, owner)
+            except MatchFailure:
+                return  # a refinement inside the pattern rejected it
+            yield from self.match(p2, value, env, owner)
+            return
+        if is_evaluable(p2, bound):
+            try:
+                value = self.eval(p2, env, owner)
+            except MatchFailure:
+                return
+            yield from self.match(p1, value, env, owner)
+            return
+        # Neither side is fully known: produce one side's value with the
+        # P translation, then match the other against it.
+        from ..modes.ordering import _pattern_solvable
+
+        ctx = SolvabilityContext(self.table, owner)
+        if not _pattern_solvable(p1, bound, ctx) and _pattern_solvable(
+            p2, bound, ctx
+        ):
+            p1, p2 = p2, p1
+        for value, env1 in self.eval_pattern(p1, env, owner):
+            yield from self.match(p2, value, env1, owner)
+
+    def _solve_call(
+        self, call: ast.Call, env: Env, owner: str | None
+    ) -> Iterator[Env]:
+        """A call in formula (predicate) position."""
+        method, receiver, creation_class = self._resolve_call(call, env, owner)
+        if method is None:
+            # Builtin predicate functions.
+            fn = self.builtins.get(call.name)
+            if fn is not None:
+                args = [self.eval(a, env, owner) for a in call.args]
+                if fn(*args) is True:
+                    yield env
+                return
+            raise EvalError(f"cannot resolve call {call}", call.span)
+        if method.is_constructor and method.kind != "equality":
+            if receiver is None and creation_class is None:
+                # Receiver-less constructor predicate: applies to `this`
+                # (Section 3.1); with `this` unknown it *creates* it
+                # (the equality-constructor situation, Section 3.2).
+                if "this" in env:
+                    yield from self._match_ctor(
+                        call, method, env["this"], env, owner
+                    )
+                else:
+                    target = owner or method.owner
+                    for value, env1 in self._create(call, target, env, owner):
+                        env2 = dict(env1)
+                        env2["this"] = value
+                        yield env2
+                return
+            if receiver is not None:
+                # `n.succ(y)`: match the receiver against the pattern.
+                yield from self._match_ctor(call, method, receiver, env, owner)
+                return
+            # Qualified creation used as a formula is a type error.
+            raise EvalError(f"{call} is not a boolean formula", call.span)
+        if method.kind == "equality":
+            # `equals(n)` as a predicate on this.
+            this = env.get("this")
+            if this is None:
+                raise EvalError("equals requires a receiver", call.span)
+            yield from self._match_ctor(call, method, this, env, owner)
+            return
+        # Ordinary (boolean) method: solve for unknown arguments.
+        yield from self._call_method(call, method, receiver, None, env, owner)
+
+    # ------------------------------------------------------------------
+    # M: matching a pattern against a known value
+    # ------------------------------------------------------------------
+
+    def match(
+        self, p: ast.Expr, value: Value, env: Env, owner: str | None
+    ) -> Iterator[Env]:
+        if isinstance(p, ast.Wildcard):
+            yield env
+            return
+        if isinstance(p, ast.VarDecl):
+            if not self.instance_of(value, p.type):
+                return
+            if p.name is not None and p.name in env:
+                if self.test_equal(env[p.name], value, env, owner):
+                    yield env
+                return
+            if p.name is None:
+                yield env
+            else:
+                env1 = dict(env)
+                env1[p.name] = value
+                env1[type_key(p.name)] = p.type
+                yield env1
+            return
+        if isinstance(p, ast.Var):
+            if p.name in env:
+                if self.test_equal(env[p.name], value, env, owner):
+                    yield env
+            else:
+                env1 = dict(env)
+                env1[p.name] = value
+                yield env1
+            return
+        if isinstance(p, ast.Lit):
+            if structurally_equal(self.eval(p, env, owner), value):
+                yield env
+            return
+        if isinstance(p, ast.TupleExpr):
+            if not isinstance(value, tuple) or len(value) != len(p.items):
+                raise EvalError(
+                    f"tuple pattern arity mismatch against {render(value)}",
+                    p.span,
+                )
+
+            def run(index: int, current: Env) -> Iterator[Env]:
+                if index == len(p.items):
+                    yield current
+                    return
+                for env1 in self.match(p.items[index], value[index], current, owner):
+                    yield from run(index + 1, env1)
+
+            yield from run(0, env)
+            return
+        if isinstance(p, ast.PatAnd):
+            for env1 in self.match(p.left, value, env, owner):
+                yield from self.match(p.right, value, env1, owner)
+            return
+        if isinstance(p, ast.PatOr):
+            # `#` attempts every alternative even after a success; `|` is
+            # verified disjoint so trying both is harmless (Section 3.3).
+            yield from self.match(p.left, value, env, owner)
+            yield from self.match(p.right, value, env, owner)
+            return
+        if isinstance(p, ast.Where):
+            for env1 in self.match(p.pattern, value, env, owner):
+                yield from self.solve(p.condition, env1, owner)
+            return
+        if isinstance(p, ast.Binary) and p.op in ("+", "-", "*"):
+            yield from self._match_arith(p, value, env, owner)
+            return
+        if isinstance(p, ast.Call):
+            yield from self._match_call(p, value, env, owner)
+            return
+        if isinstance(p, ast.FieldAccess) and not is_evaluable(p, set(env)):
+            yield from self._match_field(p, value, env, owner)
+            return
+        if is_evaluable(p, set(env)):
+            if self.test_equal(self.eval(p, env, owner), value, env, owner):
+                yield env
+            return
+        raise EvalError(f"cannot match pattern {p}", p.span)
+
+    def _match_arith(
+        self, p: ast.Binary, value: Value, env: Env, owner: str | None
+    ) -> Iterator[Env]:
+        """Invert built-in integer operations (Section 2.1)."""
+        bound = set(env)
+        if is_evaluable(p, bound):
+            if self.eval(p, env, owner) == value:
+                yield env
+            return
+        if not isinstance(value, int) or isinstance(value, bool):
+            return
+        left_known = is_evaluable(p.left, bound)
+        right_known = is_evaluable(p.right, bound)
+        if p.op == "+":
+            if left_known:
+                yield from self.match(p.right, value - self.eval(p.left, env, owner), env, owner)
+            elif right_known:
+                yield from self.match(p.left, value - self.eval(p.right, env, owner), env, owner)
+            return
+        if p.op == "-":
+            if left_known:
+                yield from self.match(p.right, self.eval(p.left, env, owner) - value, env, owner)
+            elif right_known:
+                yield from self.match(p.left, value + self.eval(p.right, env, owner), env, owner)
+            return
+        if p.op == "*":
+            if left_known:
+                factor = self.eval(p.left, env, owner)
+                if factor != 0 and value % factor == 0:
+                    yield from self.match(p.right, value // factor, env, owner)
+            elif right_known:
+                factor = self.eval(p.right, env, owner)
+                if factor != 0 and value % factor == 0:
+                    yield from self.match(p.left, value // factor, env, owner)
+            return
+
+    def _match_field(
+        self, p: ast.FieldAccess, value: Value, env: Env, owner: str | None
+    ) -> Iterator[Env]:
+        """Solve ``recv.f = value`` for an unbound receiver.
+
+        This is how Figure 1's ``result = Nat(n.value + 1)`` inverts: the
+        field relation of a concrete single-field class determines the
+        object, so the solver constructs it.
+        """
+        if not isinstance(p.receiver, ast.Var) or p.receiver.name in env:
+            raise EvalError(f"cannot match pattern {p}", p.span)
+        static_type = env.get(type_key(p.receiver.name))
+        if not isinstance(static_type, ast.Type):
+            raise EvalError(
+                f"cannot solve {p}: receiver type unknown", p.span
+            )
+        target = static_type.name
+        info = self.table.types.get(target)
+        if info is None or not info.is_class:
+            # An interface: try each concrete implementation.
+            candidates = (
+                self.table.implementations_of(target) if info is not None else []
+            )
+        else:
+            candidates = [info]
+        for impl in candidates:
+            fields = self.table.all_field_names(impl.name)
+            if fields != [p.name]:
+                continue
+            env1 = dict(env)
+            env1[p.receiver.name] = JObject(impl.name, {p.name: value})
+            yield env1
+
+    def _match_call(
+        self, call: ast.Call, value: Value, env: Env, owner: str | None
+    ) -> Iterator[Env]:
+        """Match a constructor/method call pattern against a value."""
+        method, receiver, creation_class = self._resolve_call(call, env, owner)
+        if method is None and isinstance(value, JObject):
+            # Dispatch on the run-time class of the value being matched
+            # (Section 3.1: implementation-oblivious pattern matching).
+            method = self.table.lookup_method(value.class_name, call.name)
+        if method is None:
+            # A builtin in pattern position can only be tested forward.
+            fn = self.builtins.get(call.name)
+            if fn is not None and is_evaluable(call, set(env)):
+                if self.test_equal(self.eval(call, env, owner), value, env, owner):
+                    yield env
+                return
+            raise EvalError(f"cannot resolve pattern {call}", call.span)
+        if receiver is not None:
+            # `x = recv.m(p)`: the call's *result* is matched.
+            yield from self._call_method(call, method, receiver, value, env, owner)
+            return
+        if method.is_constructor and method.kind != "equality":
+            target = creation_class or method.owner
+            yield from self._match_ctor_with_conversion(
+                call, method, target, value, env, owner
+            )
+            return
+        # Static function / method matched against its result.
+        yield from self._call_method(call, method, None, value, env, owner)
+
+    def _match_ctor_with_conversion(
+        self,
+        call: ast.Call,
+        method: MethodInfo,
+        target_class: str,
+        value: Value,
+        env: Env,
+        owner: str | None,
+    ) -> Iterator[Env]:
+        """Constructor pattern with the Section 6.1 equality fallback."""
+        info = self.table.types.get(target_class)
+        is_concrete_target = info is not None and info.is_class
+        if (
+            is_concrete_target
+            and isinstance(value, JObject)
+            and not self.table.is_subtype(
+                ast.Type(value.class_name), ast.Type(target_class)
+            )
+        ):
+            # instanceof failed: convert through the equality constructor.
+            for converted, env1 in self.convert_via_equals(
+                target_class, value, env, owner
+            ):
+                yield from self._match_ctor(call, method, converted, env1, owner)
+            return
+        yield from self._match_ctor(call, method, value, env, owner)
+
+    def _match_ctor(
+        self,
+        call: ast.Call,
+        method: MethodInfo,
+        value: Value,
+        env: Env,
+        owner: str | None,
+    ) -> Iterator[Env]:
+        """Run a constructor's pattern mode against ``value``."""
+        if not isinstance(value, JObject):
+            return
+        # Dispatch on the run-time class (Section 3.1).
+        impl = self.table.lookup_method(value.class_name, method.name)
+        if impl is None or impl.abstract:
+            return
+        yield from self._call_method(call, impl, value, value, env, owner)
+
+    # ------------------------------------------------------------------
+    # Method invocation in an arbitrary mode
+    # ------------------------------------------------------------------
+
+    def _resolve_call(
+        self, call: ast.Call, env: Env, owner: str | None
+    ) -> tuple[MethodInfo | None, Value | None, str | None]:
+        """Resolve a call to (method, receiver value, creation class)."""
+        if call.qualifier is not None:
+            method = self.table.lookup_method(call.qualifier, call.name)
+            if method is None:
+                raise EvalError(
+                    f"no method {call.qualifier}.{call.name}", call.span
+                )
+            return method, None, call.qualifier
+        if call.receiver is not None:
+            receiver = self.eval(call.receiver, env, owner)
+            if not isinstance(receiver, JObject):
+                raise EvalError(
+                    f"receiver of {call.name} is not an object: "
+                    f"{render(receiver)}",
+                    call.span,
+                )
+            method = self.table.lookup_method(receiver.class_name, call.name)
+            if method is None:
+                raise EvalError(
+                    f"no method {receiver.class_name}.{call.name}", call.span
+                )
+            return method, receiver, None
+        # Unqualified.
+        if call.name in self.table.types:
+            # Class constructor: `ZNat(n)`.
+            method = self.table.lookup_method(call.name, call.name)
+            if method is None:
+                raise EvalError(
+                    f"{call.name} has no class constructor", call.span
+                )
+            return method, None, call.name
+        if call.name in self.table.functions:
+            return self.table.lookup_function(call.name), None, None
+        if owner is not None:
+            method = self.table.lookup_method(owner, call.name)
+            if method is not None:
+                if not method.is_constructor and not method.decl.static:
+                    return method, env.get("this"), None
+                return method, None, None
+        return None, None, None
+
+    def _call_method(
+        self,
+        call: ast.Call,
+        method: MethodInfo,
+        receiver: Value | None,
+        result: Value | None,
+        env: Env,
+        owner: str | None,
+    ) -> Iterator[Env]:
+        """Invoke ``method`` choosing a mode from the call site's unknowns.
+
+        ``result`` is the known result value when the call is used as a
+        pattern; None means the result is unconstrained (boolean methods
+        implicitly require true).
+        """
+        bound = set(env)
+        knowns: dict[str, Value] = {}
+        unknown_args: list[tuple[ast.Param, ast.Expr]] = []
+        if len(call.args) != len(method.params):
+            raise EvalError(
+                f"{method.name} expects {len(method.params)} arguments, "
+                f"got {len(call.args)}",
+                call.span,
+            )
+        for param, arg in zip(method.params, call.args):
+            if is_evaluable(arg, bound):
+                knowns[param.name] = self.eval(arg, env, owner)
+            else:
+                unknown_args.append((param, arg))
+        unknown_names = {p.name for p, _ in unknown_args}
+        result_known = result is not None or not method.is_constructor
+        is_boolean = (
+            not method.is_constructor
+            and method.decl.return_type == ast.BOOLEAN_TYPE
+        )
+        wanted = set(unknown_names)
+        if result is None and not is_boolean:
+            wanted.add(RESULT)
+        modes = method.modes()
+        check_result: Value | None = None
+        if result is not None:
+            # Prefer a mode in which the result is a known input; when a
+            # non-constructor offers none, fall back to the forward mode
+            # and test its computed result against the matched value.
+            backward = [m for m in modes if RESULT not in m.unknowns]
+            mode = select_mode(backward, wanted)
+            if mode is None and not method.is_constructor:
+                mode = select_mode(modes, wanted | {RESULT})
+                if mode is not None:
+                    check_result = result
+                    result = None
+        else:
+            mode = select_mode(modes, wanted)
+        if mode is None:
+            raise EvalError(
+                f"no mode of {method.owner or '<function>'}.{method.name} "
+                f"solves for {sorted(wanted) or 'nothing'}",
+                call.span,
+            )
+        for outputs in self.execute_mode(
+            method, mode, receiver, knowns, result, call.span
+        ):
+            if check_result is not None and not self.test_equal(
+                outputs.get(RESULT), check_result, env, owner
+            ):
+                continue
+            def bind(index: int, current: Env) -> Iterator[Env]:
+                if index == len(unknown_args):
+                    yield current
+                    return
+                param, arg = unknown_args[index]
+                solved = outputs.get(param.name)
+                for env1 in self.match(arg, solved, current, owner):
+                    yield from bind(index + 1, env1)
+
+            yield from bind(0, env)
+
+    def _invoke_forward(
+        self,
+        method: MethodInfo,
+        receiver: Value | None,
+        args: list[Value],
+        creation_class: str | None = None,
+    ) -> Value:
+        """Forward mode from Python: returns the result value."""
+        if len(args) != len(method.params):
+            raise EvalError(
+                f"{method.name} expects {len(method.params)} args, got {len(args)}"
+            )
+        knowns = {p.name: v for p, v in zip(method.params, args)}
+        if method.is_constructor or method.decl.return_type not in (
+            ast.BOOLEAN_TYPE,
+            ast.VOID_TYPE,
+        ):
+            mode = select_mode(method.modes(), {RESULT})
+        else:
+            mode = select_mode(method.modes(), set())
+        if mode is None:
+            raise EvalError(f"{method.name} has no forward mode")
+        target = method
+        if creation_class is not None and creation_class != method.owner:
+            impl = self.table.lookup_method(creation_class, method.name)
+            if impl is not None:
+                target = impl
+        for outputs in self.execute_mode(
+            target, mode, receiver, knowns, None, NO_SPAN,
+            creation_class=creation_class,
+        ):
+            if RESULT in mode.unknowns:
+                return outputs[RESULT]
+            return True
+        if mode.is_predicate:
+            return False
+        raise MatchFailure(
+            f"{method.name} produced no result for "
+            f"({', '.join(render(a) for a in args)})"
+        )
+
+    def execute_mode(
+        self,
+        method: MethodInfo,
+        mode: Mode,
+        receiver: Value | None,
+        knowns: dict[str, Value],
+        result: Value | None,
+        span=NO_SPAN,
+        creation_class: str | None = None,
+    ) -> Iterator[dict[str, Value]]:
+        """Run one mode of a method; yields unknown-name -> value maps."""
+        decl = method.decl
+        if decl.body is None:
+            # Abstract: dispatch on the receiver's run-time class.
+            target = None
+            if isinstance(receiver, JObject):
+                target = self.table.lookup_method(receiver.class_name, method.name)
+            elif creation_class is not None:
+                target = self.table.lookup_method(creation_class, method.name)
+            if target is None or target.abstract:
+                raise EvalError(
+                    f"cannot execute abstract {method.owner}.{method.name}", span
+                )
+            yield from self.execute_mode(
+                target, mode, receiver, knowns, result, span
+            )
+            return
+
+        env: Env = {}
+        for name, value in knowns.items():
+            if name not in mode.unknowns:
+                env[name] = value
+        for param in method.params:
+            env[type_key(param.name)] = param.type
+
+        creating = method.is_constructor and result is None
+        target_class: str | None = None
+        if creating:
+            target_class = creation_class or method.owner
+            # `this` stays unbound: either the body's receiver-less
+            # constructor atoms construct it (the equals flow,
+            # Section 3.2), or its field bindings are collected at the
+            # end and the object assembled from them.
+        elif method.is_constructor:
+            if not isinstance(result, JObject):
+                return
+            env["this"] = result
+            env[RESULT] = result
+            self._bind_fields(env, result)
+        else:
+            if receiver is not None:
+                env["this"] = receiver
+                if isinstance(receiver, JObject):
+                    self._bind_fields(env, receiver)
+            if result is not None and RESULT not in mode.unknowns:
+                env[RESULT] = result
+
+        if isinstance(decl.body, ast.Expr):
+            yield from self._run_declarative(
+                method, mode, decl.body, env, knowns, target_class, creating
+            )
+        else:
+            yield from self._run_imperative(
+                method, mode, decl.body, env, knowns
+            )
+
+    def _bind_fields(self, env: Env, obj: JObject) -> None:
+        for name, value in obj.fields.items():
+            env.setdefault(name, value)
+
+    def _run_declarative(
+        self,
+        method: MethodInfo,
+        mode: Mode,
+        body: ast.Expr,
+        env: Env,
+        knowns: dict[str, Value],
+        target_class: str | None,
+        creating: bool,
+    ) -> Iterator[dict[str, Value]]:
+        owner = method.owner or None
+        field_names = (
+            self.table.all_field_names(target_class) if target_class else []
+        )
+        for sol in self.solve(body, env, owner):
+            outputs: dict[str, Value] = {}
+            ok = True
+            if creating:
+                assert target_class is not None
+                if "this" in sol:
+                    # The body constructed the object itself (through a
+                    # receiver-less constructor atom).
+                    outputs[RESULT] = sol["this"]
+                else:
+                    fields: dict[str, Value] = {}
+                    for fname in field_names:
+                        if fname not in sol:
+                            raise EvalError(
+                                f"creation of {target_class} via "
+                                f"{method.name} left field {fname} unbound"
+                            )
+                        fields[fname] = sol[fname]
+                    outputs[RESULT] = JObject(target_class, fields)
+            elif RESULT in mode.unknowns:
+                if RESULT not in sol:
+                    raise EvalError(
+                        f"{method.name} did not bind result in mode {mode}"
+                    )
+                outputs[RESULT] = sol[RESULT]
+            for name in mode.unknowns:
+                if name == RESULT:
+                    continue
+                if name not in sol:
+                    raise EvalError(
+                        f"{method.name} did not bind {name} in mode {mode}"
+                    )
+                outputs[name] = sol[name]
+                if name in knowns and not self.test_equal(
+                    sol[name], knowns[name], sol, owner
+                ):
+                    ok = False
+                    break
+            if ok:
+                yield outputs
+
+    def _run_imperative(
+        self,
+        method: MethodInfo,
+        mode: Mode,
+        body: ast.Block,
+        env: Env,
+        knowns: dict[str, Value],
+    ) -> Iterator[dict[str, Value]]:
+        if mode.unknowns - {RESULT}:
+            raise EvalError(
+                f"imperative {method.name} supports only forward/predicate "
+                f"modes, not {mode}"
+            )
+        owner = method.owner or None
+        try:
+            self.exec_block(body.statements, dict(env), owner)
+        except _Return as ret:
+            if RESULT in mode.unknowns:
+                yield {RESULT: ret.value}
+            elif ret.value is True or ret.value is None:
+                yield {}
+            return
+        # Fell off the end: void/predicate failure semantics.
+        if mode.is_predicate:
+            return
+        if RESULT in mode.unknowns:
+            raise EvalError(f"{method.name} returned no value")
+        yield {}
+
+    def convert_via_equals(
+        self, target_class: str, value: Value, env: Env, owner: str | None
+    ) -> Iterator[tuple[Value, Env]]:
+        """Enumerate ``target_class`` objects equal to ``value`` (Sec. 3.2)."""
+        equals = self.table.equality_constructor(target_class)
+        if equals is None or equals.decl.body is None:
+            return
+        body = equals.decl.body
+        if not isinstance(body, ast.Expr):
+            return
+        key = (target_class, id(value))
+        if key in self._converting:
+            return  # already attempting this conversion further up
+        call_env: Env = {equals.params[0].name: value}
+        # `this` is deliberately unbound: receiver-less constructor atoms
+        # in the equals body construct it; otherwise the solution's field
+        # bindings determine it (trivially so for field-less classes like
+        # the paper's PZero).
+        field_names = self.table.all_field_names(target_class)
+        self._converting.add(key)
+        try:
+            for sol in self.solve(body, call_env, equals.owner):
+                if "this" in sol:
+                    yield sol["this"], env
+                elif all(fname in sol for fname in field_names):
+                    yield JObject(
+                        target_class, {f: sol[f] for f in field_names}
+                    ), env
+        finally:
+            self._converting.discard(key)
+
+    # ------------------------------------------------------------------
+    # P: producing a pattern's value
+    # ------------------------------------------------------------------
+
+    def eval_pattern(
+        self, p: ast.Expr, env: Env, owner: str | None
+    ) -> Iterator[tuple[Value, Env]]:
+        if is_evaluable(p, set(env)):
+            yield self.eval(p, env, owner), env
+            return
+        if isinstance(p, ast.TupleExpr):
+            def run(index: int, acc: list[Value], current: Env) -> Iterator[tuple[Value, Env]]:
+                if index == len(p.items):
+                    yield tuple(acc), current
+                    return
+                for value, env1 in self.eval_pattern(p.items[index], current, owner):
+                    yield from run(index + 1, acc + [value], env1)
+
+            yield from run(0, [], env)
+            return
+        if isinstance(p, ast.PatOr):
+            yield from self.eval_pattern(p.left, env, owner)
+            yield from self.eval_pattern(p.right, env, owner)
+            return
+        if isinstance(p, ast.PatAnd):
+            # `p as q`: produce p's value, then match q against it.
+            for value, env1 in self.eval_pattern(p.left, env, owner):
+                for env2 in self.match(p.right, value, env1, owner):
+                    yield value, env2
+            return
+        if isinstance(p, ast.Where):
+            for value, env1 in self.eval_pattern(p.pattern, env, owner):
+                for env2 in self.solve(p.condition, env1, owner):
+                    yield value, env2
+            return
+        if isinstance(p, ast.Call):
+            method, receiver, creation_class = self._resolve_call(p, env, owner)
+            if method is not None and method.is_constructor and receiver is None:
+                target = creation_class or owner or method.owner
+                yield from self._create(p, target, env, owner)
+                return
+            raise EvalError(f"cannot produce a value for {p}", p.span)
+        raise EvalError(f"cannot produce a value for {p}", p.span)
+
+    def _create(
+        self, call: ast.Call, target_class: str, env: Env, owner: str | None
+    ) -> Iterator[tuple[Value, Env]]:
+        """Creation mode of a constructor, with pattern-valued arguments."""
+        method = self.table.lookup_method(target_class, call.name)
+        if method is None:
+            raise EvalError(
+                f"no constructor {target_class}.{call.name}", call.span
+            )
+
+        def eval_args(index: int, acc: list[Value], current: Env) -> Iterator[tuple[list[Value], Env]]:
+            if index == len(call.args):
+                yield acc, current
+                return
+            for value, env1 in self.eval_pattern(call.args[index], current, owner):
+                yield from eval_args(index + 1, acc + [value], env1)
+
+        for args, env1 in eval_args(0, [], env):
+            knowns = {p.name: v for p, v in zip(method.params, args)}
+            mode = select_mode(method.modes(), {RESULT})
+            if mode is None:
+                raise EvalError(
+                    f"{target_class}.{call.name} has no creation mode", call.span
+                )
+            for outputs in self.execute_mode(
+                method, mode, None, knowns, None, call.span,
+                creation_class=target_class,
+            ):
+                yield outputs[RESULT], env1
+
+    # ------------------------------------------------------------------
+    # Strict evaluation
+    # ------------------------------------------------------------------
+
+    def eval(self, e: ast.Expr, env: Env, owner: str | None) -> Value:
+        if isinstance(e, ast.Lit):
+            return e.value
+        if isinstance(e, ast.VarDecl):
+            if e.name is not None and e.name in env:
+                return env[e.name]
+            raise EvalError(f"unbound declaration pattern {e}", e.span)
+        if isinstance(e, ast.Var):
+            if e.name in env:
+                return env[e.name]
+            this = env.get("this")
+            if isinstance(this, JObject) and e.name in this.fields:
+                return this.fields[e.name]
+            raise EvalError(f"unbound variable {e.name}", e.span)
+        if isinstance(e, ast.Binary):
+            if e.op in ast.ARITH_OPS:
+                left = self.eval(e.left, env, owner)
+                right = self.eval(e.right, env, owner)
+                if e.op == "+":
+                    return left + right
+                if e.op == "-":
+                    return left - right
+                if e.op == "*":
+                    return left * right
+                if e.op == "/":
+                    return java_div(left, right)
+                return java_mod(left, right)
+            if e.op in ast.COMPARE_OPS:
+                left = self.eval(e.left, env, owner)
+                right = self.eval(e.right, env, owner)
+                return self._compare(e.op, left, right)
+            if e.op == "&&":
+                return bool(self.eval(e.left, env, owner)) and bool(
+                    self.eval(e.right, env, owner)
+                )
+            if e.op == "||":
+                return bool(self.eval(e.left, env, owner)) or bool(
+                    self.eval(e.right, env, owner)
+                )
+        if isinstance(e, ast.Not):
+            return not self.eval(e.operand, env, owner)
+        if isinstance(e, ast.FieldAccess):
+            receiver = self.eval(e.receiver, env, owner)
+            if not isinstance(receiver, JObject):
+                raise EvalError(f"field access on {render(receiver)}", e.span)
+            if e.name not in receiver.fields:
+                raise EvalError(
+                    f"{receiver.class_name} has no field {e.name}", e.span
+                )
+            return receiver.fields[e.name]
+        if isinstance(e, ast.TupleExpr):
+            return tuple(self.eval(i, env, owner) for i in e.items)
+        if isinstance(e, ast.Call):
+            return self._eval_call(e, env, owner)
+        if isinstance(e, ast.Where):
+            value = self.eval(e.pattern, env, owner)
+            for _ in self.solve(e.condition, dict(env), owner):
+                return value
+            raise MatchFailure(f"where-condition failed: {e.condition}", e.span)
+        if isinstance(e, ast.PatAnd):
+            # `p as q` with one side bound: its value, checked against
+            # the other side.
+            for side, other in ((e.right, e.left), (e.left, e.right)):
+                if is_evaluable(side, set(env)):
+                    value = self.eval(side, env, owner)
+                    for _ in self.match(other, value, dict(env), owner):
+                        return value
+                    raise MatchFailure(f"as-pattern failed: {e}", e.span)
+        raise EvalError(f"cannot evaluate {e}", e.span)
+
+    def _eval_call(self, call: ast.Call, env: Env, owner: str | None) -> Value:
+        fn = self.builtins.get(call.name)
+        if (
+            fn is not None
+            and call.receiver is None
+            and call.qualifier is None
+            and call.name not in self.table.functions
+            and call.name not in self.table.types
+        ):
+            args = [self.eval(a, env, owner) for a in call.args]
+            return fn(*args)
+        method, receiver, creation_class = self._resolve_call(call, env, owner)
+        if method is None:
+            raise EvalError(f"cannot resolve call {call}", call.span)
+        args = [self.eval(a, env, owner) for a in call.args]
+        if method.is_constructor and receiver is None:
+            # Value position: creation (possibly on the enclosing class).
+            target = creation_class or owner or method.owner
+            impl = self.table.lookup_method(target, call.name) or method
+            return self._invoke_forward(
+                impl, None, args, creation_class=target
+            )
+        if method.is_constructor and receiver is not None:
+            # `n.zero()` in value position: predicate result.
+            for _ in self._match_ctor(call, method, receiver, dict(env), owner):
+                return True
+            return False
+        return self._invoke_forward(method, receiver, args)
+
+    def _compare(self, op: str, left: Value, right: Value) -> bool:
+        if op == "=":
+            return structurally_equal(left, right)
+        if op == "!=":
+            return not structurally_equal(left, right)
+        if not isinstance(left, int) or not isinstance(right, int):
+            raise EvalError(f"ordering comparison on non-integers: {op}")
+        return {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }[op]
+
+    # ------------------------------------------------------------------
+    # Equality with equality-constructor fallback (Section 3.2)
+    # ------------------------------------------------------------------
+
+    def test_equal(
+        self, a: Value, b: Value, env: Env, owner: str | None
+    ) -> bool:
+        if structurally_equal(a, b):
+            return True
+        if isinstance(a, JObject) and isinstance(b, JObject):
+            for this, other in ((a, b), (b, a)):
+                equals = self.table.equality_constructor(this.class_name)
+                if equals is None or equals.decl.body is None:
+                    continue
+                body = equals.decl.body
+                if not isinstance(body, ast.Expr):
+                    continue
+                call_env: Env = {
+                    "this": this,
+                    equals.params[0].name: other,
+                }
+                self._bind_fields(call_env, this)
+                for _ in self.solve(body, call_env, equals.owner):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+
+    def exec_block(self, stmts: list[ast.Stmt], env: Env, owner: str | None) -> Env:
+        for stmt in stmts:
+            env = self.exec_stmt(stmt, env, owner)
+        return env
+
+    def exec_stmt(self, stmt: ast.Stmt, env: Env, owner: str | None) -> Env:
+        if isinstance(stmt, ast.Block):
+            self.exec_block(stmt.statements, dict(env), owner)
+            return env
+        if isinstance(stmt, ast.LetStmt):
+            return self._exec_let(stmt.formula, env, owner, stmt.span)
+        if isinstance(stmt, ast.ExprStmt):
+            expr = stmt.expr
+            if (
+                isinstance(expr, ast.Binary)
+                and expr.op == "="
+                and isinstance(expr.left, ast.Var)
+                and expr.left.name in env
+                and is_evaluable(expr.right, set(env))
+            ):
+                # Imperative re-binding (Figure 12 style).
+                env1 = dict(env)
+                env1[expr.left.name] = self.eval(expr.right, env, owner)
+                return env1
+            if isinstance(expr, ast.Call):
+                self.eval(expr, env, owner) if is_evaluable(
+                    expr, set(env)
+                ) else self._exec_let(expr, env, owner, stmt.span)
+                return env
+            return self._exec_let(expr, env, owner, stmt.span)
+        if isinstance(stmt, ast.LocalDecl):
+            return env
+        if isinstance(stmt, ast.ReturnStmt):
+            value = (
+                self.eval(stmt.value, env, owner)
+                if stmt.value is not None
+                else None
+            )
+            raise _Return(value)
+        if isinstance(stmt, ast.SwitchStmt):
+            self._exec_switch(stmt, env, owner)
+            return env
+        if isinstance(stmt, ast.CondStmt):
+            self._exec_cond(stmt, env, owner)
+            return env
+        if isinstance(stmt, ast.IfStmt):
+            matched = False
+            for env1 in self.solve(stmt.condition, dict(env), owner):
+                matched = True
+                self.exec_block(stmt.then_body, env1, owner)
+                break
+            if not matched and stmt.else_body is not None:
+                self.exec_block(stmt.else_body, dict(env), owner)
+            return env
+        if isinstance(stmt, ast.ForeachStmt):
+            for env1 in self.solve(stmt.formula, dict(env), owner):
+                self.exec_block(stmt.body, env1, owner)
+            return env
+        if isinstance(stmt, ast.WhileStmt):
+            while True:
+                matched = False
+                for env1 in self.solve(stmt.condition, dict(env), owner):
+                    matched = True
+                    env = self.exec_block(stmt.body, env1, owner)
+                    break
+                if not matched:
+                    return env
+        if isinstance(stmt, ast.AssignStmt):
+            env1 = dict(env)
+            assert isinstance(stmt.target, ast.Var)
+            env1[stmt.target.name] = self.eval(stmt.value, env, owner)
+            return env1
+        raise EvalError(f"cannot execute statement {stmt}", stmt.span)
+
+    def _exec_let(self, formula: ast.Expr, env: Env, owner: str | None, span) -> Env:
+        for env1 in self.solve(formula, dict(env), owner):
+            return env1
+        raise MatchFailure(f"let formula has no solution: {formula}", span)
+
+    def _exec_switch(self, stmt: ast.SwitchStmt, env: Env, owner: str | None) -> None:
+        subject = (
+            tuple(self.eval(i, env, owner) for i in stmt.subject.items)
+            if isinstance(stmt.subject, ast.TupleExpr)
+            else self.eval(stmt.subject, env, owner)
+        )
+        for case in stmt.cases:
+            for pattern in case.patterns:
+                for env1 in self.match(pattern, subject, dict(env), owner):
+                    self.exec_block(case.body, env1, owner)
+                    return
+        if stmt.default is not None:
+            self.exec_block(stmt.default, dict(env), owner)
+            return
+        raise MatchFailure(
+            f"switch: no case matched {render(subject)}", stmt.span
+        )
+
+    def _exec_cond(self, stmt: ast.CondStmt, env: Env, owner: str | None) -> None:
+        for arm in stmt.arms:
+            for env1 in self.solve(arm.formula, dict(env), owner):
+                self.exec_block(arm.body, env1, owner)
+                return
+        if stmt.else_body is not None:
+            self.exec_block(stmt.else_body, dict(env), owner)
+            return
+        raise MatchFailure("cond: no arm was satisfiable", stmt.span)
+
+    # ------------------------------------------------------------------
+    # Type tests
+    # ------------------------------------------------------------------
+
+    def instance_of(self, value: Value, type_: ast.Type) -> bool:
+        if type_ == ast.INT_TYPE:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if type_ == ast.BOOLEAN_TYPE:
+            return isinstance(value, bool)
+        if type_ == ast.STRING_TYPE:
+            return isinstance(value, str)
+        if value is None:
+            return not type_.is_primitive  # null inhabits reference types
+        if type_.name == "Object":
+            return True
+        if isinstance(value, JObject):
+            return self.table.is_subtype(ast.Type(value.class_name), type_)
+        if isinstance(value, str):
+            return type_.name == "String"
+        return False

@@ -1,0 +1,71 @@
+"""Runtime values for the JMatch interpreter.
+
+Primitives map onto Python values (``int``, ``bool``, ``str``,
+``None``); objects are :class:`JObject` instances carrying their class
+name and a field dictionary.  Tuples (which are patterns, not
+first-class values, Section 3.3) appear transiently as Python tuples
+when a tuple pattern is matched against several values at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+Value = Any  # int | bool | str | None | JObject | tuple
+
+
+@dataclass(eq=False)
+class JObject:
+    """An instance of a JMatch class."""
+
+    class_name: str
+    fields: dict[str, Value] = field(default_factory=dict)
+    _serial: int = field(default_factory=itertools.count().__next__)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"{self.class_name}({inner})"
+
+
+def structurally_equal(a: Value, b: Value) -> bool:
+    """JMatch's default equality for solved values.
+
+    Primitives compare by value.  Objects compare *structurally* --
+    same class and recursively equal fields -- which is the useful
+    notion for values produced by constructor patterns.  (The
+    cross-implementation case is handled separately via equality
+    constructors, Section 3.2.)
+    """
+    if isinstance(a, JObject) and isinstance(b, JObject):
+        if a is b:
+            return True
+        if a.class_name != b.class_name:
+            return False
+        if a.fields.keys() != b.fields.keys():
+            return False
+        return all(
+            structurally_equal(v, b.fields[k]) for k, v in a.fields.items()
+        )
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(
+            structurally_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False  # keep booleans and ints distinct
+    return a == b
+
+
+def render(value: Value) -> str:
+    """Human-readable rendering used by examples and counterexamples."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(render(v) for v in value) + ")"
+    if isinstance(value, JObject):
+        inner = ", ".join(render(v) for v in value.fields.values())
+        return f"{value.class_name}({inner})"
+    return repr(value) if isinstance(value, str) else str(value)

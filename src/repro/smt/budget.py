@@ -1,0 +1,37 @@
+"""A cooperative wall-clock budget for one SMT query.
+
+The verifier's queries are usually milliseconds, but a pathological
+one (deep arithmetic over abstract heights, say) can push the
+Fourier-Motzkin core or the CDCL search into exponential territory.
+:class:`~repro.smt.solver.Solver` arms a deadline before each check;
+the SAT and LIA hot loops poll it and raise :class:`BudgetExceeded`,
+which the solver reports as UNKNOWN -- the same role the paper's
+iterative-deepening time budget plays (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import time
+
+_deadline: float | None = None
+
+
+class BudgetExceeded(Exception):
+    """The current query ran past its wall-clock budget."""
+
+
+def arm(seconds: float) -> None:
+    """Start a budget window for the current query."""
+    global _deadline
+    _deadline = time.monotonic() + seconds
+
+
+def disarm() -> None:
+    global _deadline
+    _deadline = None
+
+
+def checkpoint() -> None:
+    """Raise BudgetExceeded when the armed budget has run out."""
+    if _deadline is not None and time.monotonic() > _deadline:
+        raise BudgetExceeded()

@@ -1,0 +1,142 @@
+"""Tseitin conversion from boolean term structure to CNF.
+
+The converter maintains a bidirectional mapping between *theory atoms*
+(non-propositional boolean terms: ``<=``, ``=``, applications of
+uninterpreted predicates, boolean variables) and SAT variables, so the
+DPLL(T) layer can translate SAT models back into sets of theory
+literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import terms as tm
+from .terms import Term
+
+Lit = int  # nonzero integer; sign is polarity, abs() is the SAT variable
+Clause = tuple[Lit, ...]
+
+
+def is_atom(t: Term) -> bool:
+    """True for terms the SAT solver treats as opaque theory atoms."""
+    return t.is_bool and t.kind in (tm.VAR, tm.APP, tm.LE, tm.EQ)
+
+
+@dataclass
+class CnfBuilder:
+    """Incrementally converts boolean terms to clauses.
+
+    The same builder can absorb several assertions; clauses accumulate
+    in :attr:`clauses`.  Atom-to-variable mappings persist, so assertions
+    added later share atoms with earlier ones -- essential for the lazy
+    axiom expansion loop (Section 6.2 of the paper).
+    """
+
+    clauses: list[Clause] = field(default_factory=list)
+    atom_of_var: dict[int, Term] = field(default_factory=dict)
+    var_of_term: dict[Term, int] = field(default_factory=dict)
+    _next_var: int = 1
+
+    def new_var(self) -> int:
+        var = self._next_var
+        self._next_var += 1
+        return var
+
+    @property
+    def num_vars(self) -> int:
+        return self._next_var - 1
+
+    def lit_for(self, t: Term) -> Lit:
+        """The (possibly negated) literal whose truth equals term ``t``."""
+        if t is tm.TRUE or t is tm.FALSE:
+            # Callers normalise constants away; map onto a frozen variable.
+            var = self._const_var()
+            return var if t is tm.TRUE else -var
+        if t.kind == tm.NOT:
+            return -self.lit_for(t.args[0])
+        var = self.var_of_term.get(t)
+        if var is None:
+            var = self.new_var()
+            self.var_of_term[t] = var
+            if is_atom(t):
+                self.atom_of_var[var] = t
+            else:
+                self._define(var, t)
+        return var
+
+    _const_var_cache: int | None = None
+
+    def _const_var(self) -> int:
+        if self._const_var_cache is None:
+            self._const_var_cache = self.new_var()
+            self.clauses.append((self._const_var_cache,))
+        return self._const_var_cache
+
+    def _define(self, var: int, t: Term) -> None:
+        """Emit Tseitin defining clauses: var <=> t's top connective."""
+        if t.kind == tm.AND:
+            arg_lits = [self.lit_for(a) for a in t.args]
+            for lit in arg_lits:
+                self.clauses.append((-var, lit))
+            self.clauses.append(tuple([var] + [-lit for lit in arg_lits]))
+        elif t.kind == tm.OR:
+            arg_lits = [self.lit_for(a) for a in t.args]
+            self.clauses.append(tuple([-var] + arg_lits))
+            for lit in arg_lits:
+                self.clauses.append((var, -lit))
+        elif t.kind == tm.IMPLIES:
+            a = self.lit_for(t.args[0])
+            b = self.lit_for(t.args[1])
+            self.clauses.append((-var, -a, b))
+            self.clauses.append((var, a))
+            self.clauses.append((var, -b))
+        elif t.kind == tm.IFF:
+            a = self.lit_for(t.args[0])
+            b = self.lit_for(t.args[1])
+            self.clauses.append((-var, -a, b))
+            self.clauses.append((-var, a, -b))
+            self.clauses.append((var, a, b))
+            self.clauses.append((var, -a, -b))
+        elif t.kind == tm.ITE:
+            c = self.lit_for(t.args[0])
+            th = self.lit_for(t.args[1])
+            el = self.lit_for(t.args[2])
+            self.clauses.append((-var, -c, th))
+            self.clauses.append((-var, c, el))
+            self.clauses.append((var, -c, -th))
+            self.clauses.append((var, c, -el))
+        else:
+            raise AssertionError(f"not a boolean connective: {t.kind}")
+
+    def assert_term(self, t: Term) -> None:
+        """Assert that boolean term ``t`` holds."""
+        if t is tm.TRUE:
+            return
+        if t is tm.FALSE:
+            self.clauses.append(())
+            return
+        if t.kind == tm.AND:
+            for a in t.args:
+                self.assert_term(a)
+            return
+        if t.kind == tm.OR:
+            self.clauses.append(tuple(self.lit_for(a) for a in t.args))
+            return
+        if t.kind == tm.IMPLIES:
+            self.clauses.append(
+                (-self.lit_for(t.args[0]), self.lit_for(t.args[1]))
+            )
+            return
+        self.clauses.append((self.lit_for(t),))
+
+    def assert_clause_terms(self, lits: list[Term]) -> None:
+        """Assert a disjunction of boolean terms as a single clause."""
+        clause = []
+        for t in lits:
+            if t is tm.TRUE:
+                return
+            if t is tm.FALSE:
+                continue
+            clause.append(self.lit_for(t))
+        self.clauses.append(tuple(clause))

@@ -1,0 +1,147 @@
+"""Congruence closure for equality with uninterpreted functions (EUF).
+
+The verifier encodes object values, skolemised method outputs, and
+matches/ensures predicate instances as uninterpreted applications, so
+EUF does the heavy lifting for reasoning about patterns (Section 5 of
+the paper).  Boolean predicate atoms are handled by equating them with
+the distinguished ``TRUE``/``FALSE`` terms.
+
+The implementation is the classic union-find + signature-table
+congruence closure.  It is rebuilt per theory check (checks are small);
+conflict sets are produced by deletion-based minimisation in
+:mod:`repro.smt.theory`.
+"""
+
+from __future__ import annotations
+
+from . import terms as tm
+from .terms import Term
+
+
+class EufSolver:
+    """A (non-incremental) congruence closure engine.
+
+    Usage: construct, ``assert_eq``/``assert_ne`` any number of times,
+    then call :meth:`check`.  After a successful check, :meth:`find`
+    gives class representatives and :meth:`congruent` answers equality
+    queries under the asserted constraints.
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[Term, Term] = {}
+        self._rank: dict[Term, int] = {}
+        #: class representative -> parent applications mentioning the class
+        self._uses: dict[Term, list[Term]] = {}
+        self._sig: dict[tuple, Term] = {}
+        self._pending: list[tuple[Term, Term]] = []
+        self._diseqs: list[tuple[Term, Term]] = []
+        self._registered: set[Term] = set()
+
+    # -- union-find -----------------------------------------------------------
+
+    def _register(self, t: Term) -> None:
+        if t in self._registered:
+            return
+        self._registered.add(t)
+        self._parent[t] = t
+        self._rank[t] = 0
+        self._uses[t] = []
+        for arg in t.args:
+            self._register(arg)
+        if t.kind == tm.APP and t.args:
+            for arg in t.args:
+                self._uses[self.find(arg)].append(t)
+            self._insert_sig(t)
+
+    def find(self, t: Term) -> Term:
+        self._register(t)
+        root = t
+        while self._parent[root] is not root:
+            root = self._parent[root]
+        while self._parent[t] is not root:
+            self._parent[t], t = root, self._parent[t]
+        return root
+
+    def _sig_of(self, t: Term) -> tuple:
+        return (t.payload, tuple(self.find(a) for a in t.args))
+
+    def _insert_sig(self, t: Term) -> None:
+        sig = self._sig_of(t)
+        other = self._sig.get(sig)
+        if other is None:
+            self._sig[sig] = t
+        elif self.find(other) is not self.find(t):
+            self._pending.append((other, t))
+
+    # -- assertions -------------------------------------------------------
+
+    def assert_eq(self, a: Term, b: Term) -> None:
+        self._register(a)
+        self._register(b)
+        self._pending.append((a, b))
+
+    def assert_ne(self, a: Term, b: Term) -> None:
+        self._register(a)
+        self._register(b)
+        self._diseqs.append((a, b))
+
+    def assert_pred(self, atom: Term, value: bool) -> None:
+        """Assert a boolean application atom's truth value."""
+        self._register(tm.TRUE)
+        self._register(tm.FALSE)
+        if value:
+            self.assert_eq(atom, tm.TRUE)
+        else:
+            self.assert_eq(atom, tm.FALSE)
+
+    # -- closure ----------------------------------------------------------
+
+    def _union(self, a: Term, b: Term) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra is rb:
+            return
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        elif self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._parent[rb] = ra
+        moved = self._uses.pop(rb, [])
+        self._uses.setdefault(ra, []).extend(moved)
+        for app in moved:
+            self._insert_sig(app)
+
+    def _settle(self) -> None:
+        while self._pending:
+            a, b = self._pending.pop()
+            self._union(a, b)
+
+    def check(self) -> bool:
+        """Run the closure; True iff the asserted literals are consistent."""
+        self._settle()
+        self._register(tm.TRUE)
+        self._register(tm.FALSE)
+        if self.find(tm.TRUE) is self.find(tm.FALSE):
+            return False
+        for a, b in self._diseqs:
+            if self.find(a) is self.find(b):
+                return False
+        return True
+
+    def congruent(self, a: Term, b: Term) -> bool:
+        """Are ``a`` and ``b`` equal under the closure?
+
+        Registering previously unseen terms can trigger new congruences
+        (their signatures may collide with existing classes), so settle
+        before comparing.
+        """
+        self._register(a)
+        self._register(b)
+        self._settle()
+        return self.find(a) is self.find(b)
+
+    def classes(self) -> dict[Term, list[Term]]:
+        """Representative -> members, for model construction."""
+        out: dict[Term, list[Term]] = {}
+        for t in self._registered:
+            out.setdefault(self.find(t), []).append(t)
+        return out

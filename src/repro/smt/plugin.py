@@ -1,0 +1,127 @@
+"""Lazy axiom expansion, reproducing the paper's Z3 external theory.
+
+Section 6.2: facts about type invariants, matching preconditions, and
+postconditions are expanded "only when instances of the theory
+predicates are assigned a truth value", each instantiated axiom being
+"asserted as an implication whose premise is the assigned predicate".
+Iterative deepening bounds the unrolling; once the maximum depth is
+hit, the plugin stops expanding and records that it did, so the driver
+can downgrade a SAT answer to "unknown" (the compiler's
+cannot-find-a-counterexample warning).
+
+The encoder registers a callback per (trigger atom, polarity).  When
+the SMT driver sees the atom assigned with that polarity, the callback
+runs once and yields an axiom term; any *new* trigger atoms the axiom
+mentions are registered by the callback itself at ``depth + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from . import terms as tm
+from .terms import Term
+
+AxiomFn = Callable[[], Term]
+
+
+@dataclass
+class _Registration:
+    callback: AxiomFn
+    depth: int
+    fired: bool = False
+    #: weak registrations constrain objects beyond the unrolling horizon
+    #: (e.g. the negative polarity of a deep invariant instance); their
+    #: suppression does not invalidate a model
+    weak: bool = False
+    #: the instantiated axiom, cached so that iterative-deepening passes
+    #: re-assert the same terms instead of minting fresh unknowns
+    axiom: Term | None = None
+
+
+@dataclass
+class LazyTheoryPlugin:
+    """Depth-bounded, trigger-driven axiom expansion."""
+
+    max_depth: int = 4
+    #: (atom, polarity) -> registration
+    _registry: dict[tuple[Term, bool], _Registration] = field(default_factory=dict)
+    #: set when an expansion was suppressed because of the depth bound
+    exhausted: bool = False
+    #: the (atom, polarity) pairs whose expansion was suppressed
+    suppressed: set[tuple[Term, bool]] = field(default_factory=set)
+
+    def register(
+        self,
+        atom: Term,
+        polarity: bool,
+        callback: AxiomFn,
+        depth: int,
+        weak: bool = False,
+    ) -> None:
+        """Attach an axiom generator to one polarity of a trigger atom."""
+        key = (atom, polarity)
+        if key not in self._registry:
+            self._registry[key] = _Registration(callback, depth, weak=weak)
+
+    def has_triggers(self) -> bool:
+        return bool(self._registry)
+
+    def pending(self, assignment: dict[Term, bool]) -> bool:
+        """Would `expand` produce anything (or be depth-suppressed)?"""
+        for atom, value in assignment.items():
+            reg = self._registry.get((atom, value))
+            if reg is not None and not reg.fired:
+                return True
+        return False
+
+    def expand(self, assignment: dict[Term, bool]) -> list[Term]:
+        """Fire registrations triggered by the assignment.
+
+        Returns guarded axioms of the form ``premise => axiom`` where the
+        premise is the trigger literal, matching the paper's global
+        assertion discipline.  Registrations beyond the depth budget are
+        suppressed and :attr:`exhausted` is set.
+        """
+        axioms: list[Term] = []
+        for atom, value in list(assignment.items()):
+            reg = self._registry.get((atom, value))
+            if reg is None or reg.fired:
+                continue
+            if reg.depth > self.max_depth:
+                # Beyond the unrolling budget the theory "will not further
+                # expand facts" (Section 6.2): the atom stays
+                # unconstrained.  A model that relies on this polarity is
+                # unconfirmed -- the solver checks `relevant_suppression`
+                # before trusting SAT.
+                self.exhausted = True
+                if not reg.weak:
+                    self.suppressed.add((atom, value))
+                continue
+            reg.fired = True
+            premise = atom if value else tm.mk_not(atom)
+            if reg.axiom is None:
+                reg.axiom = reg.callback()
+            axioms.append(tm.mk_implies(premise, reg.axiom))
+        return axioms
+
+    def relevant_suppression(self, assignment: dict[Term, bool]) -> bool:
+        """Does the model depend on a suppressed expansion?
+
+        True when some suppressed (atom, polarity) matches the model's
+        assignment of that atom, i.e. an axiom that was never asserted
+        could have ruled the model out.
+        """
+        return any(
+            assignment.get(atom) == polarity
+            for atom, polarity in self.suppressed
+        )
+
+    def reset_for_depth(self, max_depth: int) -> None:
+        """Re-arm every registration for a deeper iterative-deepening pass."""
+        self.max_depth = max_depth
+        self.exhausted = False
+        self.suppressed.clear()
+        for reg in self._registry.values():
+            reg.fired = False

@@ -1,0 +1,305 @@
+"""A CDCL SAT solver.
+
+This is the boolean engine under the lazy SMT loop.  It implements the
+standard modern architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style activity-based branching with decay,
+* geometric restarts.
+
+The DPLL(T) driver interacts with it by adding clauses (original,
+theory lemmas, blocking clauses) at decision level 0 and re-solving, so
+no assumption interface is needed.  It is deliberately compact rather
+than fast; the verifier's queries are small.
+"""
+
+from __future__ import annotations
+
+from . import budget
+
+Lit = int
+
+
+class _Clause:
+    __slots__ = ("lits", "learned")
+
+    def __init__(self, lits: list[Lit], learned: bool = False):
+        self.lits = lits
+        self.learned = learned
+
+
+UNASSIGNED = 0
+TRUE_VAL = 1
+FALSE_VAL = -1
+
+
+class SatSolver:
+    """Conflict-driven clause-learning SAT solver."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._watches: dict[Lit, list[_Clause]] = {}
+        self._assign: list[int] = [UNASSIGNED]  # 1-indexed by variable
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._trail: list[Lit] = []
+        self._trail_lim: list[int] = []
+        self._prop_head = 0
+        self._activity: list[float] = [0.0]
+        self._polarity: list[bool] = [False]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._ok = True
+
+    # -- variables and clauses ----------------------------------------------
+
+    def ensure_vars(self, n: int) -> None:
+        while self._num_vars < n:
+            self._num_vars += 1
+            self._assign.append(UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._polarity.append(False)
+
+    def new_var(self) -> int:
+        self.ensure_vars(self._num_vars + 1)
+        return self._num_vars
+
+    def add_clause(self, lits: list[Lit]) -> bool:
+        """Add a clause at decision level 0.
+
+        Returns False when the formula is now trivially unsatisfiable.
+        """
+        self._backtrack(0)
+        if not self._ok:
+            return False
+        for lit in lits:
+            self.ensure_vars(abs(lit))
+        seen: set[Lit] = set()
+        out: list[Lit] = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self._value(lit)
+            if val == TRUE_VAL and self._level[abs(lit)] == 0:
+                return True  # satisfied forever
+            if val == FALSE_VAL and self._level[abs(lit)] == 0:
+                continue  # falsified forever; drop
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            if not self._enqueue(out[0], None):
+                self._ok = False
+                return False
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(out)
+        self._attach(clause)
+        return True
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches.setdefault(-clause.lits[0], []).append(clause)
+        self._watches.setdefault(-clause.lits[1], []).append(clause)
+
+    # -- assignment primitives ------------------------------------------------
+
+    def _value(self, lit: Lit) -> int:
+        val = self._assign[abs(lit)]
+        return val if lit > 0 else -val
+
+    def value(self, var: int) -> int:
+        """TRUE_VAL, FALSE_VAL, or UNASSIGNED for a variable."""
+        return self._assign[var] if var <= self._num_vars else UNASSIGNED
+
+    @property
+    def decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: Lit, reason: _Clause | None) -> bool:
+        val = self._value(lit)
+        if val == TRUE_VAL:
+            return True
+        if val == FALSE_VAL:
+            return False
+        var = abs(lit)
+        self._assign[var] = TRUE_VAL if lit > 0 else FALSE_VAL
+        self._level[var] = self.decision_level
+        self._reason[var] = reason
+        self._polarity[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> _Clause | None:
+        """Exhaustive unit propagation; returns a conflicting clause or None."""
+        while self._prop_head < len(self._trail):
+            lit = self._trail[self._prop_head]
+            self._prop_head += 1
+            watchers = self._watches.get(lit)
+            if not watchers:
+                continue
+            kept: list[_Clause] = []
+            conflict: _Clause | None = None
+            n = len(watchers)
+            for i in range(n):
+                clause = watchers[i]
+                lits = clause.lits
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                if self._value(lits[0]) == TRUE_VAL:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != FALSE_VAL:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(-lits[1], []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if not self._enqueue(lits[0], clause):
+                    conflict = clause
+                    kept.extend(watchers[i + 1 :])
+                    break
+            self._watches[lit] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- conflict analysis ----------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[Lit], int]:
+        """First-UIP conflict analysis: (learned clause, backjump level)."""
+        learned: list[Lit] = [0]  # slot 0 gets the asserting literal
+        seen: set[int] = set()
+        counter = 0
+        index = len(self._trail)
+        reason_lits = list(conflict.lits)
+        skip_var = 0  # variable being resolved away (0 on first iteration)
+        while True:
+            for q in reason_lits:
+                var = abs(q)
+                if var == skip_var:
+                    continue
+                if var not in seen and self._level[var] > 0:
+                    seen.add(var)
+                    self._bump(var)
+                    if self._level[var] == self.decision_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while True:
+                index -= 1
+                p_lit = self._trail[index]
+                if abs(p_lit) in seen:
+                    break
+            counter -= 1
+            seen.discard(abs(p_lit))
+            if counter == 0:
+                learned[0] = -p_lit
+                break
+            reason = self._reason[abs(p_lit)]
+            assert reason is not None, "UIP literal must be propagated"
+            reason_lits = list(reason.lits)
+            skip_var = abs(p_lit)
+        if len(learned) == 1:
+            return learned, 0
+        max_i = 1
+        for i in range(2, len(learned)):
+            if self._level[abs(learned[i])] > self._level[abs(learned[max_i])]:
+                max_i = i
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, self._level[abs(learned[1])]
+
+    def _backtrack(self, level: int) -> None:
+        if self.decision_level <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._assign[var] = UNASSIGNED
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._prop_head = min(self._prop_head, len(self._trail))
+
+    # -- search ---------------------------------------------------------------
+
+    def _pick_branch(self) -> Lit:
+        best = 0
+        best_act = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == UNASSIGNED and self._activity[var] > best_act:
+                best = var
+                best_act = self._activity[var]
+        if best == 0:
+            return 0
+        # Phase saving, defaulting to False: keeps optional lazy-theory
+        # predicates unasserted unless the clauses demand them.
+        return best if self._polarity[best] else -best
+
+    def solve(self) -> bool:
+        """Search for a satisfying assignment of all variables."""
+        self._backtrack(0)
+        if not self._ok:
+            return False
+        conflicts = 0
+        restart_limit = 100
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                if self.decision_level == 0:
+                    self._ok = False
+                    return False
+                conflicts += 1
+                if conflicts % 256 == 0:
+                    budget.checkpoint()
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learned) == 1:
+                    self._backtrack(0)
+                    if not self._enqueue(learned[0], None) or (
+                        self._propagate() is not None
+                    ):
+                        self._ok = False
+                        return False
+                else:
+                    clause = _Clause(learned, learned=True)
+                    self._attach(clause)
+                    self._enqueue(learned[0], clause)
+                self._var_inc /= self._var_decay
+                if conflicts >= restart_limit:
+                    conflicts = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(0)
+            else:
+                lit = self._pick_branch()
+                if lit == 0:
+                    return True
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+
+    def model(self) -> dict[int, bool]:
+        """The satisfying assignment found by the last successful solve."""
+        return {
+            var: self._assign[var] == TRUE_VAL
+            for var in range(1, self._num_vars + 1)
+            if self._assign[var] != UNASSIGNED
+        }

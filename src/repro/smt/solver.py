@@ -1,0 +1,274 @@
+"""The public SMT solver: lazy DPLL(T) with plugin-driven axiom expansion.
+
+``Solver`` is the component the verifier talks to, playing the role Z3
+plays in the paper.  The architecture is the classic *lazy* SMT loop:
+
+1. Tseitin-encode the boolean skeleton of the assertions; theory atoms
+   become SAT variables.
+2. Ask the CDCL core for a propositional model.
+3. Let the lazy plugin expand invariant/matches/ensures axioms
+   triggered by the assignment (Section 6.2); if it produced new
+   clauses, go to 2.
+4. Check the assignment's theory literals with EUF+LIA.  On conflict,
+   add the (minimised) blocking clause and go to 2.
+5. On theory success, validate the candidate model against the
+   original assertions; block the assignment if validation fails
+   (guards against combination incompleteness), otherwise report SAT.
+
+Iterative deepening wraps the loop: a SAT answer obtained while the
+plugin had suppressed expansions is retried at a greater depth, and if
+the budget runs out the answer is UNKNOWN -- which the verifier turns
+into the paper's "no counterexample found, but there may be one"
+warning.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+
+from . import budget
+from . import terms as tm
+from .cnf import CnfBuilder
+from .plugin import LazyTheoryPlugin
+from .sat import FALSE_VAL, TRUE_VAL, SatSolver
+from .terms import Term
+from .theory import TheoryModel, check_literals
+
+
+class Result(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStats:
+    sat_rounds: int = 0
+    theory_conflicts: int = 0
+    axioms_asserted: int = 0
+    deepening_passes: int = 0
+
+
+class Solver:
+    """Check satisfiability of quantifier-free LIA+EUF assertions."""
+
+    #: iterative deepening schedule for the lazy plugin
+    DEPTH_SCHEDULE = (2, 4, 8)
+    MAX_ROUNDS = 4000
+    #: wall-clock budget per check(); queries beyond it answer UNKNOWN,
+    #: which the verifier reports as "could not decide" -- the paper's
+    #: iterative-deepening time budget plays the same role (Section 6.2)
+    TIME_BUDGET = 8.0
+
+    def __init__(self, plugin: LazyTheoryPlugin | None = None):
+        self._assertions: list[Term] = []
+        self._stack: list[int] = []
+        self.plugin = plugin or LazyTheoryPlugin()
+        self._model: TheoryModel | None = None
+        #: a pass blocked candidate models that relied on suppressed
+        #: expansions; its UNSAT answer is then inconclusive
+        self._blocked_unconfirmed = False
+        self.stats = SolverStats()
+
+    # -- assertion stack ------------------------------------------------------
+
+    def add(self, term: Term) -> None:
+        if not term.is_bool:
+            raise ValueError("assertions must be boolean terms")
+        self._assertions.append(term)
+
+    def push(self) -> None:
+        self._stack.append(len(self._assertions))
+
+    def pop(self) -> None:
+        mark = self._stack.pop()
+        del self._assertions[mark:]
+
+    # -- solving ----------------------------------------------------------
+
+    def check(self) -> Result:
+        """Decide the conjunction of current assertions."""
+        self._model = None
+        self._deadline = time.monotonic() + self.TIME_BUDGET
+        budget.arm(self.TIME_BUDGET)
+        try:
+            return self._check_with_deepening()
+        except budget.BudgetExceeded:
+            return Result.UNKNOWN
+        finally:
+            budget.disarm()
+
+    def _check_with_deepening(self) -> Result:
+        if not self.plugin.has_triggers():
+            return self._check_at_depth()
+        for depth in self.DEPTH_SCHEDULE:
+            self.stats.deepening_passes += 1
+            self.plugin.reset_for_depth(depth)
+            result = self._check_at_depth()
+            if result == Result.UNSAT and not self._blocked_unconfirmed:
+                # Suppressed expansions only *omit* axioms; omitting
+                # axioms only enlarges the model space, so UNSAT at any
+                # depth is conclusive -- unless we blocked unconfirmed
+                # models ourselves, in which case only a deeper pass can
+                # tell whether one of them was genuine.
+                return result
+            if result == Result.SAT:
+                return result
+            if result == Result.UNKNOWN:
+                return result
+        return Result.UNKNOWN
+
+    def model(self) -> TheoryModel:
+        if self._model is None:
+            raise RuntimeError("model is only available after a SAT check")
+        return self._model
+
+    # -- one pass of the lazy loop ---------------------------------------
+
+    def _check_at_depth(self) -> Result:
+        self._blocked_unconfirmed = False
+        cnf = CnfBuilder()
+        sat = SatSolver()
+        clause_cursor = 0
+
+        def flush_clauses() -> bool:
+            nonlocal clause_cursor
+            ok = True
+            while clause_cursor < len(cnf.clauses):
+                clause = cnf.clauses[clause_cursor]
+                clause_cursor += 1
+                if not sat.add_clause(list(clause)):
+                    ok = False
+            return ok
+
+        for assertion in self._assertions:
+            cnf.assert_term(assertion)
+        if not flush_clauses():
+            return Result.UNSAT
+
+        for _ in range(self.MAX_ROUNDS):
+            self.stats.sat_rounds += 1
+            if time.monotonic() > self._deadline:
+                return Result.UNKNOWN
+            if not sat.solve():
+                return Result.UNSAT
+            assignment: dict[Term, bool] = {}
+            for var, atom in cnf.atom_of_var.items():
+                value = sat.value(var)
+                if value == TRUE_VAL:
+                    assignment[atom] = True
+                elif value == FALSE_VAL:
+                    assignment[atom] = False
+
+            # Step 3: lazy axiom expansion.
+            axioms = self.plugin.expand(assignment)
+            if axioms:
+                self.stats.axioms_asserted += len(axioms)
+                for axiom in axioms:
+                    cnf.assert_term(axiom)
+                if not flush_clauses():
+                    return Result.UNSAT
+                continue
+
+            # Step 4: theory consistency.
+            literals = sorted(assignment.items(), key=lambda kv: kv[0]._id)
+            outcome = check_literals(literals)
+            if not outcome.consistent:
+                self.stats.theory_conflicts += 1
+                conflict = outcome.conflict or literals
+                blocking = [
+                    tm.mk_not(atom) if value else atom for atom, value in conflict
+                ]
+                cnf.assert_clause_terms(blocking)
+                if not flush_clauses():
+                    return Result.UNSAT
+                continue
+
+            # Step 5: validate against the original assertions.
+            model = outcome.model
+            assert model is not None
+            if all(_evaluate(a, model) for a in self._assertions):
+                if self.plugin.relevant_suppression(assignment):
+                    # The model depends on an expansion beyond the depth
+                    # horizon, so it is unconfirmed: rule it out and look
+                    # for a model that stays within the horizon.
+                    self._blocked_unconfirmed = True
+                    blocking = [
+                        tm.mk_not(atom) if polarity else atom
+                        for atom, polarity in self.plugin.suppressed
+                        if assignment.get(atom) == polarity
+                    ]
+                    cnf.assert_clause_terms(blocking)
+                    if not flush_clauses():
+                        return Result.UNSAT
+                    continue
+                self._model = model
+                return Result.SAT
+            blocking = [
+                tm.mk_not(atom) if value else atom for atom, value in literals
+            ]
+            cnf.assert_clause_terms(blocking)
+            if not flush_clauses():
+                return Result.UNSAT
+        return Result.UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# Model evaluation (for validation and for counterexample reporting)
+# ---------------------------------------------------------------------------
+
+
+def _evaluate(t: Term, model: TheoryModel) -> bool:
+    """Evaluate a boolean term under a theory model."""
+    if t in model.atom_values:
+        return model.atom_values[t]
+    kind = t.kind
+    if kind == tm.BOOL_CONST:
+        return t.payload
+    if kind == tm.NOT:
+        return not _evaluate(t.args[0], model)
+    if kind == tm.AND:
+        return all(_evaluate(a, model) for a in t.args)
+    if kind == tm.OR:
+        return any(_evaluate(a, model) for a in t.args)
+    if kind == tm.IMPLIES:
+        return (not _evaluate(t.args[0], model)) or _evaluate(t.args[1], model)
+    if kind == tm.IFF:
+        return _evaluate(t.args[0], model) == _evaluate(t.args[1], model)
+    if kind == tm.ITE:
+        branch = t.args[1] if _evaluate(t.args[0], model) else t.args[2]
+        return _evaluate(branch, model)
+    if kind == tm.LE:
+        return eval_int(t.args[0], model) <= eval_int(t.args[1], model)
+    if kind == tm.EQ:
+        a, b = t.args
+        if a.sort.name == "Int":
+            return eval_int(a, model) == eval_int(b, model)
+        return model.same_object(a, b) or a is b
+    if kind in (tm.VAR, tm.APP):
+        # An atom the SAT core never saw; unconstrained, so any value
+        # satisfies the literal -- pick False deterministically.
+        return False
+    raise AssertionError(f"cannot evaluate {t!r}")
+
+
+def eval_int(t: Term, model: TheoryModel) -> int:
+    """Evaluate an integer term under a theory model (default 0)."""
+    if t in model.int_values:
+        return model.int_values[t]
+    kind = t.kind
+    if kind == tm.INT_CONST:
+        return t.payload
+    if kind == tm.ADD:
+        return sum(eval_int(a, model) for a in t.args)
+    if kind == tm.MUL:
+        product = 1
+        for a in t.args:
+            product *= eval_int(a, model)
+        return product
+    if kind == tm.ITE:
+        branch = t.args[1] if _evaluate(t.args[0], model) else t.args[2]
+        return eval_int(branch, model)
+    return 0

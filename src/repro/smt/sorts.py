@@ -1,0 +1,35 @@
+"""Sorts for the SMT substrate.
+
+The verifier only ever needs three families of sorts:
+
+* ``BOOL`` — propositional atoms and formulas,
+* ``INT`` — mathematical integers (JMatch ``int`` values),
+* uninterpreted sorts — one per reference-typed universe.  The encoder
+  in :mod:`repro.verify.encode` uses a single object sort ``OBJ`` for
+  all reference values and tracks Java types with ``instanceof``
+  predicates, which mirrors how the paper treats dynamic types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sort:
+    """An SMT sort, identified by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+BOOL = Sort("Bool")
+INT = Sort("Int")
+OBJ = Sort("Obj")
+
+
+def uninterpreted(name: str) -> Sort:
+    """Create a fresh uninterpreted sort."""
+    return Sort(name)

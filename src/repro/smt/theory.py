@@ -1,0 +1,257 @@
+"""Theory reasoning: EUF + LIA combination over literal sets.
+
+The lazy SMT loop in :mod:`repro.smt.solver` hands this module a full
+assignment of theory atoms and asks whether it is consistent in the
+combined theory of uninterpreted functions and linear integer
+arithmetic.  Combination follows a light-weight Nelson-Oppen scheme:
+
+1. integer-sorted atoms are *purified* -- maximal non-arithmetic
+   integer subterms (uninterpreted applications, variables) become LIA
+   variables while also being registered with the congruence closure;
+2. EUF and LIA exchange equalities over those shared terms until a
+   fixpoint (EUF by congruence, LIA by entailment probing);
+3. a combined model is assembled from the LIA model and the EUF
+   classes.
+
+LIA is non-convex, so entailment probing can in principle miss a
+disjunction of equalities; the solver driver guards against this by
+validating candidate models against the original assertions and
+blocking the assignment if validation fails (see solver.py), keeping
+the overall procedure sound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from . import lia
+from . import terms as tm
+from .euf import EufSolver
+from .sorts import INT
+from .terms import Term
+
+Literal = tuple[Term, bool]  # (atom, polarity)
+
+
+@dataclass
+class TheoryModel:
+    """A first-order model for one consistent literal set."""
+
+    int_values: dict[Term, int] = field(default_factory=dict)
+    #: object term -> representative class id
+    obj_class: dict[Term, int] = field(default_factory=dict)
+    atom_values: dict[Term, bool] = field(default_factory=dict)
+
+    def int_value(self, t: Term) -> int | None:
+        return self.int_values.get(t)
+
+    def obj_value(self, t: Term) -> int | None:
+        return self.obj_class.get(t)
+
+    def same_object(self, a: Term, b: Term) -> bool:
+        ca, cb = self.obj_class.get(a), self.obj_class.get(b)
+        return ca is not None and ca == cb
+
+
+@dataclass
+class TheoryCheck:
+    """Result of a consistency check."""
+
+    consistent: bool
+    model: TheoryModel | None = None
+    conflict: list[Literal] | None = None
+
+
+def _linearize(t: Term, vars_out: set[Term]) -> tuple[dict[Term, int], int]:
+    """Term -> (coefficient map over purified variables, constant)."""
+    if t.kind == tm.INT_CONST:
+        return {}, t.payload
+    if t.kind == tm.ADD:
+        coeffs: dict[Term, int] = {}
+        const = 0
+        for arg in t.args:
+            sub_coeffs, sub_const = _linearize(arg, vars_out)
+            const += sub_const
+            for v, c in sub_coeffs.items():
+                coeffs[v] = coeffs.get(v, 0) + c
+        return coeffs, const
+    if t.kind == tm.MUL:
+        a, b = t.args
+        if a.kind == tm.INT_CONST:
+            sub_coeffs, sub_const = _linearize(b, vars_out)
+            return (
+                {v: a.payload * c for v, c in sub_coeffs.items()},
+                a.payload * sub_const,
+            )
+        # Nonlinear product: opaque.
+        vars_out.add(t)
+        return {t: 1}, 0
+    # VAR, APP, anything else: a purified LIA variable.
+    vars_out.add(t)
+    return {t: 1}, 0
+
+
+def _diff_constraint(a: Term, b: Term, rel: str, vars_out: set[Term]) -> lia.Constraint:
+    """Build the LIA constraint ``a - b  rel  0``."""
+    ca, ka = _linearize(a, vars_out)
+    cb, kb = _linearize(b, vars_out)
+    coeffs = dict(ca)
+    for v, c in cb.items():
+        coeffs[v] = coeffs.get(v, 0) - c
+    return lia.Constraint.make(coeffs, ka - kb, rel)
+
+
+class _Separation:
+    """Literals split into their EUF and LIA parts."""
+
+    def __init__(self, literals: list[Literal]):
+        self.euf_eqs: list[tuple[Term, Term]] = []
+        self.euf_nes: list[tuple[Term, Term]] = []
+        self.preds: list[tuple[Term, bool]] = []
+        self.lia_constraints: list[lia.Constraint] = []
+        self.shared: set[Term] = set()
+        for atom, value in literals:
+            if atom.kind == tm.LE:
+                a, b = atom.args
+                if value:
+                    self.lia_constraints.append(
+                        _diff_constraint(a, b, lia.LE, self.shared)
+                    )
+                else:  # not (a <= b)  ==  b + 1 <= a  ==  b - a + 1 <= 0
+                    c = _diff_constraint(b, a, lia.LE, self.shared)
+                    self.lia_constraints.append(
+                        lia.Constraint(c.coeffs, c.const + 1, lia.LE)
+                    )
+            elif atom.kind == tm.EQ:
+                a, b = atom.args
+                if a.sort == INT:
+                    rel = lia.EQ if value else lia.NE
+                    self.lia_constraints.append(
+                        _diff_constraint(a, b, rel, self.shared)
+                    )
+                else:
+                    (self.euf_eqs if value else self.euf_nes).append((a, b))
+            else:
+                # Boolean VAR or APP: an EUF predicate atom.
+                self.preds.append((atom, value))
+
+
+def check_literals(literals: list[Literal]) -> TheoryCheck:
+    """Decide a conjunction of theory literals; model or minimised conflict."""
+    consistent, model = _check_once(literals)
+    if consistent:
+        return TheoryCheck(True, model=model)
+    core = _minimize_conflict(literals)
+    return TheoryCheck(False, conflict=core)
+
+
+_MINIMIZE_LIMIT = 120  # deletion tests per conflict; larger cores stay coarse
+
+
+def _minimize_conflict(literals: list[Literal]) -> list[Literal]:
+    """Deletion-based minimisation of an inconsistent literal set."""
+    core = list(literals)
+    i = 0
+    budget = _MINIMIZE_LIMIT
+    while i < len(core) and budget > 0:
+        budget -= 1
+        trial = core[:i] + core[i + 1 :]
+        ok, _ = _check_once(trial)
+        if not ok:
+            core = trial
+        else:
+            i += 1
+    return core
+
+
+def _interface_terms(literals: list[Literal], shared: set[Term]) -> list[Term]:
+    """Shared integer terms that feed EUF congruence.
+
+    LIA -> EUF equality propagation only matters for terms appearing as
+    arguments of uninterpreted applications (congruence could then
+    merge the parents).  Anything else can safely disagree with EUF's
+    partition, so probing it would be wasted work.
+    """
+    out: set[Term] = set()
+    for atom, _ in literals:
+        for sub in tm.subterms(atom):
+            if sub.kind == tm.APP:
+                for arg in sub.args:
+                    if arg in shared:
+                        out.add(arg)
+    return sorted(out, key=lambda t: t._id)
+
+
+def _check_once(literals: list[Literal]) -> tuple[bool, TheoryModel | None]:
+    sep = _Separation(literals)
+    euf = EufSolver()
+    for a, b in sep.euf_eqs:
+        euf.assert_eq(a, b)
+    for a, b in sep.euf_nes:
+        euf.assert_ne(a, b)
+    for atom, value in sep.preds:
+        euf.assert_pred(atom, value)
+    # Register shared integer terms so congruence can reach them.
+    for t in sep.shared:
+        euf.find(t)
+
+    constraints = list(sep.lia_constraints)
+    shared = sorted(sep.shared, key=lambda t: t._id)
+    probe_terms = _interface_terms(literals, sep.shared)
+    known_eq: set[tuple[Term, Term]] = set()
+    result = lia.LiaResult(True)
+
+    for _ in range(len(probe_terms) * len(probe_terms) + 2):
+        if not euf.check():
+            return False, None
+        # EUF -> LIA: congruent shared terms are numerically equal.
+        changed = False
+        for a, b in itertools.combinations(shared, 2):
+            if (a, b) in known_eq:
+                continue
+            if euf.find(a) is euf.find(b):
+                known_eq.add((a, b))
+                constraints.append(
+                    lia.Constraint.make({a: 1, b: -1}, 0, lia.EQ)
+                )
+                changed = True
+        result = lia.solve(constraints)
+        if not result:
+            return False, None
+        # LIA -> EUF: entailed equalities, but only over terms whose
+        # equality EUF could actually exploit (congruence interfaces).
+        for a, b in itertools.combinations(probe_terms, 2):
+            if (a, b) in known_eq:
+                continue
+            if lia.entails_eq(constraints, a, b):
+                known_eq.add((a, b))
+                euf.assert_eq(a, b)
+                changed = True
+        if not changed:
+            break
+    else:
+        result = lia.solve(constraints)
+        if not result:
+            return False, None
+
+    if not euf.check():
+        return False, None
+
+    # --- model assembly ----------------------------------------------------
+    model = TheoryModel()
+    lia_model = result.model
+    for t in shared:
+        model.int_values[t] = lia_model.get(t, 0)
+    # Also expose plain integer variables that only LIA saw.
+    for v, value in lia_model.items():
+        if isinstance(v, Term):
+            model.int_values.setdefault(v, value)
+    class_ids: dict[Term, int] = {}
+    for rep, members in euf.classes().items():
+        cid = class_ids.setdefault(rep, len(class_ids))
+        for m in members:
+            model.obj_class[m] = cid
+    for atom, value in literals:
+        model.atom_values[atom] = value
+    return True, model

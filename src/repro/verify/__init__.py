@@ -1,0 +1,6 @@
+"""Static verification of exhaustiveness, redundancy, totality, and
+disjointness (Sections 4-6 of the paper)."""
+
+from .verifier import VerificationReport, Verifier
+
+__all__ = ["VerificationReport", "Verifier"]

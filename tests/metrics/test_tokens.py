@@ -1,0 +1,77 @@
+"""Tests for the Table 1 token counters."""
+
+from repro.metrics import (
+    average_reduction,
+    count_java_tokens,
+    count_jmatch_tokens,
+    strip_spec_clauses,
+    table1_rows,
+)
+from repro.metrics.tokens import TokenRow
+
+
+class TestJavaCounter:
+    def test_simple_statement(self):
+        # int x = 3 ;  -> 5 tokens
+        assert count_java_tokens("int x = 3;") == 5
+
+    def test_comments_excluded(self):
+        assert count_java_tokens("x // the variable\n= 1;") == 4
+        assert count_java_tokens("/* block */ x = 1;") == 4
+
+    def test_string_literal_is_one_token(self):
+        assert count_java_tokens('f("a b c");') == 5
+
+    def test_multichar_operators(self):
+        assert count_java_tokens("a && b || c <= d") == 7
+
+    def test_generics_and_calls(self):
+        # java.util.Iterator<Object> it = elements();
+        assert count_java_tokens("java.util.Iterator<Object> it = x();") == 14
+
+
+class TestJMatchCounter:
+    def test_simple_formula(self):
+        assert count_jmatch_tokens("x = 1") == 3
+
+    def test_comments_excluded(self):
+        assert count_jmatch_tokens("x = 1 // hello") == 3
+
+    def test_matches_paper_style_decl(self):
+        source = "constructor zero() returns();"
+        # constructor zero ( ) returns ( ) ;
+        assert count_jmatch_tokens(source) == 8
+
+
+class TestSpecStripping:
+    def test_strips_matches(self):
+        source = "constructor f() matches(x >= 0) returns();"
+        stripped = strip_spec_clauses(source)
+        assert "matches" not in stripped
+        assert "returns" in stripped
+
+    def test_strips_matches_ensures_shorthand(self):
+        source = "constructor f() matches ensures(cons(_, _)) returns();"
+        stripped = strip_spec_clauses(source)
+        assert "ensures" not in stripped
+
+    def test_strips_nested_parens(self):
+        source = "int f(int x) matches(g(x) >= 0 && h(x, y) = 0);"
+        stripped = strip_spec_clauses(source)
+        assert "matches" not in stripped
+
+
+class TestTable:
+    def test_rows_complete_and_positive(self):
+        rows = table1_rows()
+        assert len(rows) == 28
+        for row in rows:
+            assert row.jmatch > 0, row.name
+            assert row.java > 0, row.name
+
+    def test_average_reduction_formula(self):
+        rows = [
+            TokenRow("a", 50, None, 100),   # 50% shorter
+            TokenRow("b", 100, None, 100),  # equal
+        ]
+        assert average_reduction(rows) == 25.0

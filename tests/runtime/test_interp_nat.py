@@ -1,0 +1,337 @@
+"""End-to-end interpreter tests on the paper's natural-number examples.
+
+Covers Figure 1 (class Nat with modal constructors and switch-based
+plus), Figures 2-3 (the Nat interface with three implementations), and
+Figure 4 (equality constructors interoperating across
+implementations).
+"""
+
+import pytest
+
+from repro.errors import EvalError, MatchFailure
+from repro.lang import analyze, parse_program
+from repro.runtime import Interpreter, JObject
+
+FIGURE1 = """
+class Nat {
+  private int value;
+  private Nat(int n) returns(n)
+    ( value = n )
+  public static Nat zero() returns()
+    ( result = Nat(0) )
+  public static Nat succ(Nat n) returns(n)
+    ( result = Nat(n.value + 1) )
+}
+static Nat plus(Nat m, Nat n) {
+  switch (m, n) {
+    case (zero(), Nat x):
+    case (x, zero()):
+      return x;
+    case (succ(Nat k), _):
+      return plus(k, Nat.succ(n));
+  }
+}
+"""
+
+
+@pytest.fixture
+def fig1():
+    program = parse_program(FIGURE1)
+    table = analyze(program)
+    return Interpreter(table)
+
+
+def nat_of(interp, n, cls="Nat"):
+    value = interp.construct(cls, "zero")
+    for _ in range(n):
+        value = interp.construct(cls, "succ", value)
+    return value
+
+
+def int_of_nat(obj):
+    assert isinstance(obj, JObject) and obj.class_name == "Nat"
+    return obj.fields["value"]
+
+
+class TestFigure1:
+    def test_zero_constructs(self, fig1):
+        z = fig1.construct("Nat", "zero")
+        assert int_of_nat(z) == 0
+
+    def test_succ_constructs(self, fig1):
+        three = nat_of(fig1, 3)
+        assert int_of_nat(three) == 3
+
+    def test_succ_backward_mode(self, fig1):
+        # Match Nat(3) against succ(Nat k): k must be Nat(2).
+        three = nat_of(fig1, 3)
+        method = fig1.table.lookup_method("Nat", "succ")
+        from repro.lang.parser import parse_formula
+
+        pattern = parse_formula("succ(Nat k)")
+        solutions = list(fig1.match(pattern, three, {}, "Nat"))
+        assert len(solutions) == 1
+        assert int_of_nat(solutions[0]["k"]) == 2
+
+    def test_succ_match_on_zero_is_relational(self, fig1):
+        # Figure 1's Nat constructor has no n >= 0 constraint, so the
+        # succ relation is total over ints: zero matches succ with
+        # predecessor Nat(-1).  (ZNat in Figure 3 adds the constraint;
+        # see TestInterfaceNats.)  plus() still works because the zero()
+        # case is tried first.
+        from repro.lang.parser import parse_formula
+
+        z = nat_of(fig1, 0)
+        pattern = parse_formula("succ(Nat k)")
+        solutions = list(fig1.match(pattern, z, {}, "Nat"))
+        assert len(solutions) == 1
+        assert int_of_nat(solutions[0]["k"]) == -1
+
+    @pytest.mark.parametrize("m,n", [(0, 0), (0, 3), (3, 0), (2, 2), (4, 3)])
+    def test_plus(self, fig1, m, n):
+        result = fig1.run_function("plus", nat_of(fig1, m), nat_of(fig1, n))
+        assert int_of_nat(result) == m + n
+
+    def test_class_constructor_backward(self, fig1):
+        # Nat(int n) returns(n): recover n from a Nat value.
+        from repro.lang.parser import parse_formula
+
+        five = nat_of(fig1, 5)
+        pattern = parse_formula("Nat(int n)", {"Nat"})
+        solutions = list(fig1.match(pattern, five, {}, None))
+        assert solutions and solutions[0]["n"] == 5
+
+
+INTERFACE_NATS = """
+interface Nat {
+  invariant(this = zero() | succ(_));
+  constructor zero() returns();
+  constructor succ(Nat n) returns(n);
+  constructor equals(Nat n);
+}
+class ZNat implements Nat {
+  int val;
+  private invariant(val >= 0);
+  private ZNat(int n) matches(n >= 0) returns(n)
+    ( val = n && n >= 0 )
+  constructor zero() returns()
+    ( val = 0 )
+  constructor succ(Nat n) returns(n)
+    ( val >= 1 && ZNat(val - 1) = n )
+  constructor equals(Nat n)
+    ( zero() && n.zero() | succ(Nat y) && n.succ(y) )
+}
+class PZero implements Nat {
+  constructor zero() returns() ( true )
+  constructor succ(Nat n) returns(n) ( false )
+  constructor equals(Nat n) ( n.zero() )
+}
+class PSucc implements Nat {
+  Nat pred;
+  constructor zero() returns() ( false )
+  constructor succ(Nat n) returns(n) ( pred = n )
+  constructor equals(Nat n) ( n.succ(pred) )
+}
+static Nat plus(Nat m, Nat n) {
+  switch (m, n) {
+    case (zero(), Nat x):
+    case (x, zero()):
+      return x;
+    case (succ(Nat k), _):
+      return plus(k, ZNat.succ(n));
+  }
+}
+"""
+
+
+@pytest.fixture
+def nats():
+    program = parse_program(INTERFACE_NATS)
+    table = analyze(program)
+    return Interpreter(table)
+
+
+def znat(interp, n):
+    return interp.new("ZNat", n)
+
+
+def peano(interp, n):
+    value = interp.construct("PZero", "zero")
+    for _ in range(n):
+        obj = JObject("PSucc", {"pred": value})
+        value = obj
+    return value
+
+
+class TestInterfaceNats:
+    def test_znat_class_constructor(self, nats):
+        z = znat(nats, 3)
+        assert z.fields["val"] == 3
+
+    def test_znat_class_constructor_rejects_negative(self, nats):
+        with pytest.raises(MatchFailure):
+            znat(nats, -1)
+
+    def test_znat_zero_pattern(self, nats):
+        from repro.lang.parser import parse_formula
+
+        assert list(nats.match(parse_formula("zero()"), znat(nats, 0), {}, None))
+        assert not list(
+            nats.match(parse_formula("zero()"), znat(nats, 1), {}, None)
+        )
+
+    def test_znat_succ_roundtrip(self, nats):
+        three = nats.construct("ZNat", "succ", znat(nats, 2))
+        assert three.fields["val"] == 3
+
+    def test_peano_succ_pattern(self, nats):
+        from repro.lang.parser import parse_formula
+
+        two = peano(nats, 2)
+        sols = list(nats.match(parse_formula("succ(Nat k)"), two, {}, None))
+        assert len(sols) == 1
+        assert sols[0]["k"].class_name == "PSucc"
+
+    def test_cross_implementation_succ(self, nats):
+        # ZNat.succ of a Peano number: the equality constructor converts
+        # (Section 3.2's interop story).
+        two_peano = peano(nats, 2)
+        three = nats.construct("ZNat", "succ", two_peano)
+        assert three.class_name == "ZNat"
+        assert three.fields["val"] == 3
+
+    def test_psucc_of_znat_is_legal(self, nats):
+        # PSucc.succ(ZNat(3)) "is legal!" per the paper.
+        mixed = nats.construct("PSucc", "succ", znat(nats, 3))
+        assert mixed.class_name == "PSucc"
+        assert mixed.fields["pred"].fields["val"] == 3
+
+    def test_equality_across_implementations(self, nats):
+        assert nats.test_equal(znat(nats, 2), peano(nats, 2), {}, None)
+        assert not nats.test_equal(znat(nats, 2), peano(nats, 3), {}, None)
+
+    def test_zero_equality_across_implementations(self, nats):
+        assert nats.test_equal(znat(nats, 0), peano(nats, 0), {}, None)
+
+    @pytest.mark.parametrize("m,n", [(0, 0), (1, 2), (3, 1)])
+    def test_plus_mixed_representations(self, nats, m, n):
+        result = nats.run_function("plus", peano(nats, m), znat(nats, n))
+        assert nats.test_equal(result, znat(nats, m + n), {}, None)
+
+    def test_match_through_mixed_chain(self, nats):
+        # succ pattern on PSucc(ZNat(3)) yields ZNat(3).
+        from repro.lang.parser import parse_formula
+
+        mixed = JObject("PSucc", {"pred": znat(nats, 3)})
+        sols = list(nats.match(parse_formula("succ(Nat k)"), mixed, {}, None))
+        assert sols[0]["k"].fields["val"] == 3
+
+
+GREATER = """
+interface Nat {
+  constructor zero() returns();
+  constructor succ(Nat n) returns(n);
+  boolean greater(Nat x) iterates(x);
+}
+class ZNat implements Nat {
+  int val;
+  private ZNat(int n) returns(n) ( val = n && n >= 0 )
+  constructor zero() returns() ( val = 0 )
+  constructor succ(Nat n) returns(n) ( val >= 1 && ZNat(val - 1) = n )
+  boolean greater(Nat x) iterates(x)
+    ( this = succ(Nat y) && (y = x || y.greater(x)) )
+}
+"""
+
+
+@pytest.fixture
+def greater():
+    return Interpreter(analyze(parse_program(GREATER)))
+
+
+class TestIterativeModes:
+    def test_forward_predicate(self, greater):
+        three = greater.new("ZNat", 3)
+        one = greater.new("ZNat", 1)
+        assert greater.invoke(three, "greater", one) is True
+        assert greater.invoke(one, "greater", three) is False
+        assert greater.invoke(one, "greater", one) is False
+
+    def test_backward_iterates_all_smaller(self, greater):
+        # Section 2.2: the backward mode iterates over all numbers
+        # smaller than `this`.
+        from repro.lang.parser import parse_formula
+
+        three = greater.new("ZNat", 3)
+        formula = parse_formula("n.greater(Nat x)")
+        values = [
+            env["x"].fields["val"]
+            for env in greater.solutions(formula, {"n": three})
+        ]
+        assert sorted(values) == [0, 1, 2]
+
+
+class TestFormulaSolving:
+    def test_arithmetic_inversion(self, fig1):
+        # The Section 2.3 worked example: x - 2 = 1 + y with x known.
+        from repro.lang.parser import parse_formula
+
+        formula = parse_formula("x - 2 = 1 + y")
+        sols = list(fig1.solutions(formula, {"x": 10}))
+        assert len(sols) == 1 and sols[0]["y"] == 7
+
+    def test_arithmetic_inversion_other_direction(self, fig1):
+        from repro.lang.parser import parse_formula
+
+        formula = parse_formula("x - 2 = 1 + y")
+        sols = list(fig1.solutions(formula, {"y": 7}))
+        assert len(sols) == 1 and sols[0]["x"] == 10
+
+    def test_disjunction_yields_both(self, fig1):
+        from repro.lang.parser import parse_formula
+
+        formula = parse_formula("int x = y-1 # y+1")
+        values = [env["x"] for env in fig1.solutions(formula, {"y": 5})]
+        assert values == [4, 6]
+
+    def test_disjoint_disjunction(self, fig1):
+        from repro.lang.parser import parse_formula
+
+        formula = parse_formula("int x = 1 | 2")
+        values = [env["x"] for env in fig1.solutions(formula, {})]
+        assert values == [1, 2]
+
+    def test_conjunction_reordering(self, fig1):
+        # y > 0 is a test that must run after y is bound.
+        from repro.lang.parser import parse_formula
+
+        formula = parse_formula("y > 0 && x = y + 1")
+        sols = list(fig1.solutions(formula, {"x": 5}))
+        assert sols and sols[0]["y"] == 4
+
+    def test_unsolvable_formula_raises(self, fig1):
+        from repro.lang.parser import parse_formula
+
+        formula = parse_formula("x < y")
+        with pytest.raises(EvalError):
+            list(fig1.solutions(formula, {}))
+
+    def test_negation_as_failure(self, fig1):
+        from repro.lang.parser import parse_formula
+
+        assert list(fig1.solutions(parse_formula("!(1 = 2)"), {}))
+        assert not list(fig1.solutions(parse_formula("!(2 = 2)"), {}))
+
+    def test_where_refinement(self, fig1):
+        from repro.lang.parser import parse_formula
+
+        formula = parse_formula("int x = (y - 1 # y + 1) where x > 5")
+        values = [env["x"] for env in fig1.solutions(formula, {"y": 5})]
+        assert values == [6]
+
+    def test_tuple_matching(self, fig1):
+        from repro.lang.parser import parse_formula
+
+        formula = parse_formula("(int a, int b) = (1, 2)")
+        sols = list(fig1.solutions(formula, {}))
+        assert sols[0]["a"] == 1 and sols[0]["b"] == 2

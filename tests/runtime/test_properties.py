@@ -1,0 +1,116 @@
+"""Property-based tests on the runtime's modal-abstraction invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import api
+from repro.corpus import lists, nat
+from repro.lang import parse_formula
+from repro.runtime import JObject, java_div, java_mod
+
+
+@pytest.fixture(scope="module")
+def nats():
+    return api.interpreter(api.compile_program(nat.PROGRAM))
+
+
+@pytest.fixture(scope="module")
+def list_interp():
+    return api.interpreter(api.compile_program(lists.PROGRAM))
+
+
+def znat(interp, n):
+    return interp.new("ZNat", n)
+
+
+def peano(interp, n):
+    value = interp.construct("PZero", "zero")
+    for _ in range(n):
+        value = JObject("PSucc", {"pred": value})
+    return value
+
+
+class TestNatProperties:
+    @given(st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_plus_is_addition(self, nats, m, n):
+        total = nats.run_function("plus", znat(nats, m), znat(nats, n))
+        assert nats.invoke(total, "toInt") == m + n
+
+    @given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_cross_representation_equality_is_semantic(self, nats, m, n):
+        assert nats.test_equal(znat(nats, m), peano(nats, n), {}, None) == (m == n)
+
+    @given(st.integers(min_value=0, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_succ_and_pattern_are_inverses(self, nats, n):
+        # Constructing then matching recovers the argument: the paper's
+        # algebraic-reasoning guarantee of modal abstraction.
+        successor = nats.construct("ZNat", "succ", znat(nats, n))
+        (sol,) = nats.match(parse_formula("succ(Nat k)"), successor, {}, None)
+        assert nats.test_equal(sol["k"], znat(nats, n), {}, None)
+
+
+class TestListProperties:
+    def build(self, interp, values):
+        l = interp.construct("EmptyList", "nil")
+        for v in reversed(values):
+            l = interp.construct("ConsList", "cons", v, l)
+        return l
+
+    def read(self, interp, l):
+        out = []
+        pattern = parse_formula("cons(Object h, List t)")
+        while True:
+            sols = list(interp.match(pattern, l, {}, None))
+            if not sols:
+                return out
+            out.append(sols[0]["h"])
+            l = sols[0]["t"]
+
+    @given(st.lists(st.integers(min_value=-9, max_value=9), max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_reverse_is_an_involution(self, list_interp, values):
+        l = self.build(list_interp, values)
+        r = list_interp.run_function("rev", list_interp.run_function("rev", l))
+        assert self.read(list_interp, r) == values
+
+    @given(st.lists(st.integers(min_value=-9, max_value=9), max_size=4),
+           st.lists(st.integers(min_value=-9, max_value=9), max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_append_length_additive(self, list_interp, a, b):
+        la = self.build(list_interp, a)
+        lb = self.build(list_interp, b)
+        both = list_interp.run_function("append", la, lb)
+        assert list_interp.run_function("length", both) == len(a) + len(b)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_contains_iterates_exactly_the_elements(self, list_interp, values):
+        l = self.build(list_interp, values)
+        found = [
+            env["x"]
+            for env in list_interp.solutions(
+                parse_formula("l.contains(Object x)"), {"l": l}
+            )
+        ]
+        assert sorted(found) == sorted(values)
+
+
+class TestJavaArithmetic:
+    @given(st.integers(min_value=-100, max_value=100),
+           st.integers(min_value=-100, max_value=100).filter(lambda b: b != 0))
+    @settings(max_examples=100, deadline=None)
+    def test_div_mod_identity(self, a, b):
+        assert java_div(a, b) * b + java_mod(a, b) == a
+
+    @given(st.integers(min_value=-100, max_value=100),
+           st.integers(min_value=-100, max_value=100).filter(lambda b: b != 0))
+    @settings(max_examples=100, deadline=None)
+    def test_div_truncates_toward_zero(self, a, b):
+        import math
+
+        expected = math.trunc(a / b)
+        assert java_div(a, b) == expected

@@ -1,0 +1,191 @@
+"""Statement-level execution tests: cond, let, foreach, while, if."""
+
+import pytest
+
+from repro import api
+from repro.errors import MatchFailure
+
+
+def run(source, fn, *args):
+    unit = api.compile_program(source)
+    return api.interpreter(unit).run_function(fn, *args)
+
+
+class TestCondExecution:
+    SOURCE = """
+    static int sign(int x) {
+      cond {
+        (x > 0) { return 1; }
+        (x = 0) { return 0; }
+        (x < 0) { return -1; }
+      }
+    }
+    """
+
+    @pytest.mark.parametrize("x,expected", [(5, 1), (0, 0), (-3, -1)])
+    def test_first_true_arm_wins(self, x, expected):
+        assert run(self.SOURCE, "sign", x) == expected
+
+    def test_no_arm_raises_match_failure(self):
+        source = """
+        static int f(int x) {
+          cond {
+            (x > 0) { return 1; }
+          }
+        }
+        """
+        with pytest.raises(MatchFailure):
+            run(source, "f", -1)
+
+    def test_else_arm(self):
+        source = """
+        static int f(int x) {
+          cond {
+            (x > 0) { return 1; }
+            else return 99;
+          }
+        }
+        """
+        assert run(source, "f", -5) == 99
+
+    def test_cond_arm_bindings_visible_in_body(self):
+        source = """
+        static int f(int x) {
+          cond {
+            (int y = x + 1 && y > 0) { return y; }
+            else return 0;
+          }
+        }
+        """
+        assert run(source, "f", 4) == 5
+
+
+class TestLetExecution:
+    def test_let_binds(self):
+        assert run("static int f() { let int x = 2; return x + 1; }", "f") == 3
+
+    def test_sugar_declaration(self):
+        assert run("static int f() { int x = 7; return x; }", "f") == 7
+
+    def test_failed_let_raises(self):
+        with pytest.raises(MatchFailure):
+            run("static int f(int y) { let 3 = y; return y; }", "f", 2)
+
+    def test_rebinding_is_assignment(self):
+        source = """
+        static int f() {
+          int x = 1;
+          x = x + 1;
+          x = x * 3;
+          return x;
+        }
+        """
+        assert run(source, "f") == 6
+
+
+class TestForeachExecution:
+    SOURCE = """
+    static int sumTo(int n) {
+      int total = 0;
+      foreach (between(1, n, int i)) {
+        total = total + i;
+      }
+      return total;
+    }
+    static boolean between(int lo, int hi, int x) iterates(x)
+      ( lo <= hi && (x = lo || between(lo + 1, hi, x)) )
+    """
+
+    def test_foreach_iterates_all_solutions(self):
+        # Note: `total` rebinding inside foreach mutates the loop-body
+        # scope only; Java-style accumulation needs while instead.  This
+        # checks the iteration count via the iterative mode directly.
+        unit = api.compile_program(self.SOURCE)
+        interp = api.interpreter(unit)
+        from repro.lang import parse_formula
+
+        values = [
+            env["x"]
+            for env in interp.solutions(
+                parse_formula("between(1, n, int x)"), {"n": 4}
+            )
+        ]
+        assert values == [1, 2, 3, 4]
+
+
+class TestWhileExecution:
+    def test_while_loop(self):
+        source = """
+        static int countdown(int n) {
+          int steps = 0;
+          while (n > 0) {
+            n = n - 1;
+            steps = steps + 1;
+          }
+          return steps;
+        }
+        """
+        assert run(source, "countdown", 5) == 5
+
+
+class TestIfExecution:
+    def test_if_else(self):
+        source = """
+        static int f(int x) {
+          if (x > 10) return 1;
+          else return 0;
+        }
+        """
+        assert run(source, "f", 11) == 1
+        assert run(source, "f", 9) == 0
+
+    def test_if_bindings_scope_to_then(self):
+        source = """
+        static int f(int x) {
+          if (int y = x * 2 && y > 4) return y;
+          return 0;
+        }
+        """
+        assert run(source, "f", 3) == 6
+        assert run(source, "f", 1) == 0
+
+
+class TestSwitchExecution:
+    def test_default_taken_when_no_case_matches(self):
+        source = """
+        static int f(int x) {
+          switch (x) {
+            case 1: return 10;
+            case 2: return 20;
+            default: return -1;
+          }
+        }
+        """
+        assert run(source, "f", 1) == 10
+        assert run(source, "f", 7) == -1
+
+    def test_no_match_without_default_raises(self):
+        source = """
+        static int f(int x) {
+          switch (x) {
+            case 1: return 10;
+          }
+        }
+        """
+        with pytest.raises(MatchFailure):
+            run(source, "f", 3)
+
+    def test_fallthrough_shares_body(self):
+        source = """
+        static int f(int x) {
+          switch (x) {
+            case 1:
+            case 2:
+              return 12;
+            case 3: return 3;
+          }
+        }
+        """
+        assert run(source, "f", 1) == 12
+        assert run(source, "f", 2) == 12
+        assert run(source, "f", 3) == 3

@@ -1,0 +1,152 @@
+"""Unit tests for the CDCL SAT core."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt.sat import FALSE_VAL, TRUE_VAL, UNASSIGNED, SatSolver
+
+
+def brute_force_sat(num_vars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(
+                (lit > 0) == bits[abs(lit) - 1] for lit in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def check_model(solver: SatSolver, clauses: list[list[int]]) -> None:
+    for clause in clauses:
+        assert any(
+            solver.value(abs(lit)) == (TRUE_VAL if lit > 0 else FALSE_VAL)
+            for lit in clause
+        ), f"clause {clause} unsatisfied"
+
+
+def test_empty_formula_is_sat():
+    assert SatSolver().solve()
+
+
+def test_single_unit_clause():
+    s = SatSolver()
+    s.add_clause([1])
+    assert s.solve()
+    assert s.value(1) == TRUE_VAL
+
+
+def test_conflicting_units():
+    s = SatSolver()
+    s.add_clause([1])
+    assert not s.add_clause([-1]) or not s.solve()
+
+
+def test_simple_implication_chain():
+    s = SatSolver()
+    s.add_clause([1])
+    s.add_clause([-1, 2])
+    s.add_clause([-2, 3])
+    assert s.solve()
+    assert s.value(3) == TRUE_VAL
+
+
+def test_unsat_triangle():
+    s = SatSolver()
+    for clause in ([1, 2], [-1, 2], [1, -2], [-1, -2]):
+        s.add_clause(clause)
+    assert not s.solve()
+
+
+def test_pigeonhole_3_into_2_unsat():
+    # Variables p_{i,j}: pigeon i in hole j. i in 0..2, j in 0..1.
+    def var(i, j):
+        return 1 + i * 2 + j
+
+    s = SatSolver()
+    for i in range(3):
+        s.add_clause([var(i, 0), var(i, 1)])
+    for j in range(2):
+        for i1 in range(3):
+            for i2 in range(i1 + 1, 3):
+                s.add_clause([-var(i1, j), -var(i2, j)])
+    assert not s.solve()
+
+
+def test_pigeonhole_3_into_3_sat():
+    def var(i, j):
+        return 1 + i * 3 + j
+
+    s = SatSolver()
+    clauses = []
+    for i in range(3):
+        clauses.append([var(i, j) for j in range(3)])
+    for j in range(3):
+        for i1 in range(3):
+            for i2 in range(i1 + 1, 3):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    for c in clauses:
+        s.add_clause(c)
+    assert s.solve()
+    check_model(s, clauses)
+
+
+def test_tautological_clause_ignored():
+    s = SatSolver()
+    s.add_clause([1, -1])
+    s.add_clause([-2])
+    assert s.solve()
+    assert s.value(2) == FALSE_VAL
+
+
+def test_duplicate_literals_in_clause():
+    s = SatSolver()
+    s.add_clause([1, 1, 1])
+    assert s.solve()
+    assert s.value(1) == TRUE_VAL
+
+
+def test_incremental_clause_addition_after_solve():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    assert s.solve()
+    s.add_clause([-1])
+    assert s.solve()
+    assert s.value(2) == TRUE_VAL
+    s.add_clause([-2])
+    assert not s.solve()
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_random_3sat_agrees_with_brute_force(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(3, 9)
+    num_clauses = rng.randint(2, 4 * num_vars)
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        lits = []
+        for _ in range(width):
+            v = rng.randint(1, num_vars)
+            lits.append(v if rng.random() < 0.5 else -v)
+        clauses.append(lits)
+    s = SatSolver()
+    ok = True
+    for c in clauses:
+        ok = s.add_clause(c) and ok
+    result = ok and s.solve()
+    expected = brute_force_sat(num_vars, clauses)
+    assert result == expected
+    if result:
+        check_model(s, clauses)
+
+
+def test_value_of_out_of_range_variable():
+    s = SatSolver()
+    s.add_clause([1])
+    assert s.value(99) == UNASSIGNED

@@ -1,0 +1,67 @@
+"""CLI integration tests."""
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """
+static int double(int x) {
+  return x * 2;
+}
+"""
+
+BUGGY = """
+interface Nat {
+  invariant(this = zero() | succ(_));
+  constructor zero() matches(notall(result)) returns();
+  constructor succ(Nat n) matches(notall(result)) returns(n);
+}
+static int f(Nat n) {
+  switch (n) {
+    case succ(Nat p): return 1;
+  }
+}
+"""
+
+
+@pytest.fixture
+def program(tmp_path):
+    def write(source):
+        path = tmp_path / "program.jm"
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+def test_verify_clean(program, capsys):
+    assert main(["verify", program(CLEAN)]) == 0
+    out = capsys.readouterr().out
+    assert "0 warnings" in out
+
+
+def test_verify_reports_warnings_but_exits_zero(program, capsys):
+    assert main(["verify", program(BUGGY)]) == 0
+    out = capsys.readouterr().out
+    assert "nonexhaustive" in out
+
+
+def test_verify_syntax_error_exits_one(program, capsys):
+    assert main(["verify", program("class {")]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_function(program, capsys):
+    assert main(["run", program(CLEAN), "double", "21"]) == 0
+    assert capsys.readouterr().out.strip() == "42"
+
+
+def test_run_unknown_function(program, capsys):
+    assert main(["run", program(CLEAN), "nope"]) == 1
+
+
+def test_tokens_table(capsys):
+    assert main(["tokens"]) == 0
+    out = capsys.readouterr().out
+    assert "ConsList" in out
+    assert "average reduction" in out

@@ -1,0 +1,148 @@
+"""Tests for matching-precondition extraction (Sections 4.3-4.4)."""
+
+from repro.lang import analyze, ast, parse_program
+from repro.modes.mode import RESULT, Mode
+from repro.verify.extract import extract_ensures, extract_matches, to_nnf
+
+
+def method_and_table(source, class_name, method_name):
+    program = parse_program(source)
+    table = analyze(program)
+    return table.types[class_name].methods[method_name], table
+
+
+ZNAT = """
+class ZNat {
+  int val;
+  private ZNat(int n) matches(n >= 0) returns(n)
+    ( val = n && n >= 0 )
+}
+"""
+
+
+class TestZNatExtraction:
+    """Figure 8: the matching preconditions of the ZNat constructor."""
+
+    def test_forward_mode_keeps_n_ge_0(self):
+        method, table = method_and_table(ZNAT, "ZNat", "ZNat")
+        forward = Mode.of({RESULT})
+        extracted = extract_matches(method.decl, forward, table, "ZNat")
+        # n is known in the forward mode, so the atom survives.
+        assert str(extracted) == "(n >= 0)"
+
+    def test_backward_mode_drops_to_true(self):
+        method, table = method_and_table(ZNAT, "ZNat", "ZNat")
+        backward = Mode.of({"n"})
+        extracted = extract_matches(method.decl, backward, table, "ZNat")
+        # n is unknown and unsolvable from the clause alone: dropped.
+        assert isinstance(extracted, ast.Lit) and extracted.value is True
+
+
+class TestNotall:
+    """Section 4.4: the opaque `notall` refinement."""
+
+    SOURCE = """
+    class C {
+      int val;
+      private C(int n) matches(n >= 0 && notall(result, n)) returns(n)
+        ( val = n )
+    }
+    """
+
+    def test_notall_dropped_when_some_var_unknown(self):
+        method, table = method_and_table(self.SOURCE, "C", "C")
+        forward = Mode.of({RESULT})
+        extracted = extract_matches(method.decl, forward, table, "C")
+        # result unknown: notall dropped; n >= 0 kept.
+        assert "notall" not in str(extracted)
+        assert "n >= 0" in str(extracted)
+
+    def test_notall_false_when_all_known(self):
+        method, table = method_and_table(self.SOURCE, "C", "C")
+        predicate = Mode.of(set())
+        extracted = extract_matches(method.decl, predicate, table, "C")
+        # In the predicate mode both result and n are known: notall is
+        # false, so matching is never guaranteed.
+        assert "false" in str(extracted)
+
+
+class TestSolvableUnknowns:
+    def test_paper_reordering_example(self):
+        # x > 0 && y >= 0 && x+1 = y with x unknown: reorder so x+1 = y
+        # solves x, keeping all three atoms (equivalent to y > 1).
+        source = """
+        class D {
+          int f;
+          private D(int x, int y) matches(x > 0 && y >= 0 && x+1 = y)
+            returns(x) ( f = x + y )
+        }
+        """
+        method, table = method_and_table(source, "D", "D")
+        mode = Mode.of({"x"})
+        extracted = extract_matches(method.decl, mode, table, "D")
+        text = str(extracted)
+        assert "y >= 0" in text
+        assert "x + 1" in text.replace("(", "").replace(")", "") or "x" in text
+        assert "x > 0" in text
+
+    def test_unsolvable_atoms_dropped(self):
+        # y >= 0 && x < y && x > 0 with x unknown: the two atoms about x
+        # cannot be solved, leaving y >= 0 (the paper's non-conservative
+        # example).
+        source = """
+        class D {
+          int f;
+          private D(int x, int y) matches(y >= 0 && x < y && x > 0)
+            returns(x) ( f = y )
+        }
+        """
+        method, table = method_and_table(source, "D", "D")
+        mode = Mode.of({"x"})
+        extracted = extract_matches(method.decl, mode, table, "D")
+        text = str(extracted)
+        assert "y >= 0" in text
+        assert "x" not in text
+
+
+class TestDefaults:
+    def test_missing_matches_defaults_to_false(self):
+        source = "class E { int f; private E(int n) returns(n) ( f = n ) }"
+        method, table = method_and_table(source, "E", "E")
+        extracted = extract_matches(method.decl, Mode.of({RESULT}), table, "E")
+        assert isinstance(extracted, ast.Lit) and extracted.value is False
+
+    def test_missing_ensures_defaults_to_true(self):
+        source = "class E { int f; private E(int n) returns(n) ( f = n ) }"
+        method, table = method_and_table(source, "E", "E")
+        extracted = extract_ensures(method.decl, Mode.of({RESULT}), table, "E")
+        assert isinstance(extracted, ast.Lit) and extracted.value is True
+
+
+class TestNnf:
+    def parse(self, text):
+        from repro.lang.parser import parse_formula
+
+        return parse_formula(text)
+
+    def test_double_negation(self):
+        formula = to_nnf(self.parse("!(!(x = 1))"))
+        assert str(formula) == "(x = 1)"
+
+    def test_de_morgan_and(self):
+        formula = to_nnf(self.parse("!(x = 1 && y = 2)"))
+        assert isinstance(formula, ast.Binary) and formula.op == "||"
+        assert formula.left.op == "!="
+
+    def test_de_morgan_or(self):
+        formula = to_nnf(self.parse("!(x < 1 || y > 2)"))
+        assert isinstance(formula, ast.Binary) and formula.op == "&&"
+        assert formula.left.op == ">="
+        assert formula.right.op == "<="
+
+    def test_comparison_flips(self):
+        assert str(to_nnf(self.parse("!(x <= 1)"))) == "(x > 1)"
+        assert str(to_nnf(self.parse("!(x >= 1)"))) == "(x < 1)"
+        assert str(to_nnf(self.parse("!(x != 1)"))) == "(x = 1)"
+
+    def test_boolean_literal(self):
+        assert to_nnf(self.parse("!(true)")).value is False

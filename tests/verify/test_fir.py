@@ -1,0 +1,113 @@
+"""Unit tests for the F intermediate representation (Section 5)."""
+
+from repro.smt import INT, OBJ, mk_eq, mk_int, mk_le, mk_var
+from repro.verify import fir
+from repro.verify.fir import FAtom, assume, fand, for_, fresh, negate
+
+
+def atom(name="x", value=0):
+    return FAtom(mk_le(mk_var(name, INT), mk_int(value)))
+
+
+class TestConstructors:
+    def test_fand_collapses_true(self):
+        assert fand(fir.TRUE, atom()) == atom()
+
+    def test_fand_short_circuits_false(self):
+        assert fand(atom(), fir.FALSE) is fir.FALSE
+
+    def test_for_collapses_false(self):
+        assert for_(fir.FALSE, atom()) == atom()
+
+    def test_for_short_circuits_true(self):
+        assert for_(atom(), fir.TRUE) is fir.TRUE
+
+    def test_assume_with_trivial_premise(self):
+        assert assume(fir.TRUE, atom()) == atom()
+
+
+class TestNegate:
+    def test_atom_negation_toggles(self):
+        a = atom()
+        assert negate(a).negated
+        assert negate(negate(a)) == a
+
+    def test_de_morgan(self):
+        a, b = atom("x"), atom("y")
+        negated = negate(fand(a, b))
+        assert isinstance(negated, fir.FOr)
+        negated = negate(for_(a, b))
+        assert isinstance(negated, fir.FAnd)
+
+    def test_assume_premise_survives_negation(self):
+        # The defining equation of Section 5:
+        #   negate(F1 |> F2) == F1 |> negate(F2)
+        premise = FAtom(mk_eq(mk_var("v", INT), mk_int(3)))
+        body = atom("w")
+        f = assume(premise, body, frozenset())
+        negated = negate(f)
+        assert isinstance(negated, fir.FAssume)
+        assert negated.premise == premise
+        assert negated.body == negate(body)
+
+    def test_nested_assume_negation(self):
+        p1 = FAtom(mk_eq(mk_var("a", INT), mk_int(1)))
+        p2 = FAtom(mk_eq(mk_var("b", INT), mk_int(2)))
+        inner = assume(p2, atom("c"))
+        f = assume(p1, inner)
+        negated = negate(f)
+        assert negated.premise == p1
+        assert negated.body.premise == p2
+        assert negated.body.body == negate(atom("c"))
+
+    def test_constants(self):
+        assert negate(fir.TRUE) is fir.FALSE
+        assert negate(fir.FALSE) is fir.TRUE
+
+
+class TestToTerm:
+    def test_assume_lowers_to_conjunction(self):
+        premise = FAtom(mk_eq(mk_var("v", INT), mk_int(3)))
+        f = assume(premise, atom("w"))
+        term = f.to_term()
+        # Both conjuncts present.
+        from repro.smt import terms as tm
+
+        assert term.kind == tm.AND
+        assert premise.term in term.args
+        assert atom("w").term in term.args
+
+
+class TestFresh:
+    def test_fresh_renames_bound_unknowns(self):
+        # Note: the "!" namespace belongs to fresh_var itself, so use a
+        # plain name (as the translator's ctx.fresh does with "$").
+        v = mk_var("u$7", OBJ)
+        f = assume(
+            FAtom(mk_eq(v, mk_var("n", OBJ))), atom("x"), frozenset({v})
+        )
+        renamed = fresh(f)
+        assert v not in renamed.unknowns()
+        assert len(renamed.unknowns()) == 1
+
+    def test_fresh_is_identity_without_unknowns(self):
+        f = fand(atom("x"), atom("y"))
+        assert fresh(f) is f
+
+    def test_fresh_twice_gives_distinct_names(self):
+        v = mk_var("u!1", OBJ)
+        f = assume(FAtom(mk_eq(v, v)), fir.TRUE, frozenset({v}))
+        first = fresh(f)
+        second = fresh(f)
+        assert first.unknowns() != second.unknowns()
+
+
+class TestUnknownTracking:
+    def test_unknowns_union_through_structure(self):
+        v1 = mk_var("a!9", OBJ)
+        v2 = mk_var("b!9", OBJ)
+        f = fand(
+            assume(fir.TRUE, atom(), frozenset({v1})),
+            for_(assume(fir.TRUE, atom("y"), frozenset({v2})), atom("z")),
+        )
+        assert f.unknowns() == {v1, v2}
