@@ -14,6 +14,7 @@ from .errors import Diagnostics
 from .lang import analyze, ast, parse_program
 from .lang.symbols import ProgramTable
 from .runtime import Interpreter
+from .smt.cache import GLOBAL_CACHE, SolverCache
 from .verify import VerificationReport, Verifier
 
 
@@ -32,9 +33,21 @@ def compile_program(source: str, filename: str = "<input>") -> CompiledUnit:
     return CompiledUnit(program, table)
 
 
-def verify(unit: CompiledUnit) -> VerificationReport:
-    """Run the full static verification pass (Sections 5-6)."""
-    return Verifier(unit.table).run()
+def verify(
+    unit: CompiledUnit,
+    budget: float | None = None,
+    cache: SolverCache | None = GLOBAL_CACHE,
+) -> VerificationReport:
+    """Run the full static verification pass (Sections 5-6).
+
+    ``budget`` bounds each SMT query's wall time for this run only (it
+    is threaded to the solver instances, never written to global
+    state).  ``cache`` selects the query cache: the process-wide one by
+    default, a private :class:`~repro.smt.cache.SolverCache`, or
+    ``None`` to solve every query from scratch.  The returned report
+    carries per-method solver statistics in ``solver_stats``.
+    """
+    return Verifier(unit.table, budget=budget, cache=cache).run()
 
 
 def interpreter(unit: CompiledUnit) -> Interpreter:

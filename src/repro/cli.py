@@ -32,11 +32,10 @@ def cmd_verify(args: argparse.Namespace) -> int:
     except JMatchError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    if args.budget is not None:
-        from .smt.solver import Solver
+    from .smt.cache import GLOBAL_CACHE
 
-        Solver.TIME_BUDGET = args.budget
-    report = api.verify(unit)
+    cache = None if args.no_cache else GLOBAL_CACHE
+    report = api.verify(unit, budget=args.budget, cache=cache)
     for warning in report.diagnostics.warnings:
         print(warning)
     print(
@@ -44,6 +43,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         f"{report.statements_checked} statements in {report.seconds:.2f}s; "
         f"{len(report.diagnostics.warnings)} warnings"
     )
+    if args.stats and report.solver_stats is not None:
+        print(report.solver_stats.format_table())
     return 0
 
 
@@ -100,6 +101,14 @@ def main(argv: list[str] | None = None) -> int:
     p_verify.add_argument(
         "--budget", type=float, default=None,
         help="per-query SMT time budget in seconds",
+    )
+    p_verify.add_argument(
+        "--stats", action="store_true",
+        help="print per-method solver statistics and cache hit rate",
+    )
+    p_verify.add_argument(
+        "--no-cache", action="store_true",
+        help="solve every SMT query from scratch (disable the query cache)",
     )
     p_verify.set_defaults(func=cmd_verify)
 

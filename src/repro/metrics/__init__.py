@@ -1,5 +1,6 @@
 """Measurement utilities for reproducing the paper's evaluation."""
 
+from .solver_stats import QueryStats, VerifyStats
 from .tokens import (
     TokenRow,
     average_reduction,
@@ -10,7 +11,9 @@ from .tokens import (
 )
 
 __all__ = [
+    "QueryStats",
     "TokenRow",
+    "VerifyStats",
     "average_reduction",
     "count_java_tokens",
     "count_jmatch_tokens",

@@ -1,0 +1,99 @@
+"""Aggregated solver instrumentation for one verification run.
+
+The verifier discharges many SMT queries per method; this module rolls
+their per-query measurements (wall time, SAT rounds, axioms asserted,
+deepening passes, cache hits/misses, verdict counts) up into per-method
+and whole-run totals.  The aggregate is surfaced on
+:class:`repro.verify.VerificationReport` and rendered by
+``repro.cli verify --stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryStats:
+    """Rolled-up measurements over a group of solver queries."""
+
+    queries: int = 0
+    seconds: float = 0.0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    sat_rounds: int = 0
+    theory_conflicts: int = 0
+    axioms_asserted: int = 0
+    deepening_passes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def add_query(self, verdict: str, seconds: float, solver_stats) -> None:
+        """Fold in one query's verdict, wall time, and SolverStats."""
+        self.queries += 1
+        self.seconds += seconds
+        if verdict == "sat":
+            self.sat += 1
+        elif verdict == "unsat":
+            self.unsat += 1
+        else:
+            self.unknown += 1
+        self.sat_rounds += solver_stats.sat_rounds
+        self.theory_conflicts += solver_stats.theory_conflicts
+        self.axioms_asserted += solver_stats.axioms_asserted
+        self.deepening_passes += solver_stats.deepening_passes
+        self.cache_hits += solver_stats.cache_hits
+        self.cache_misses += solver_stats.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class VerifyStats:
+    """Per-method and total query statistics for a verification run."""
+
+    per_method: dict[str, QueryStats] = field(default_factory=dict)
+    total: QueryStats = field(default_factory=QueryStats)
+
+    def record(
+        self, method: str, verdict: str, seconds: float, solver_stats
+    ) -> None:
+        self.per_method.setdefault(method, QueryStats()).add_query(
+            verdict, seconds, solver_stats
+        )
+        self.total.add_query(verdict, seconds, solver_stats)
+
+    def format_table(self) -> str:
+        """The ``--stats`` table: one row per method plus totals."""
+        header = (
+            f"{'method':<40}{'queries':>8}{'sat':>6}{'unsat':>7}{'unk':>5}"
+            f"{'time(s)':>9}{'rounds':>8}{'axioms':>8}{'deepen':>8}"
+            f"{'hits':>6}{'miss':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.per_method):
+            stats = self.per_method[name]
+            label = name if len(name) <= 39 else name[:36] + "..."
+            lines.append(
+                f"{label:<40}{stats.queries:>8}{stats.sat:>6}"
+                f"{stats.unsat:>7}{stats.unknown:>5}{stats.seconds:>9.3f}"
+                f"{stats.sat_rounds:>8}{stats.axioms_asserted:>8}"
+                f"{stats.deepening_passes:>8}{stats.cache_hits:>6}"
+                f"{stats.cache_misses:>6}"
+            )
+        lines.append("-" * len(header))
+        t = self.total
+        lines.append(
+            f"{'total':<40}{t.queries:>8}{t.sat:>6}{t.unsat:>7}{t.unknown:>5}"
+            f"{t.seconds:>9.3f}{t.sat_rounds:>8}{t.axioms_asserted:>8}"
+            f"{t.deepening_passes:>8}{t.cache_hits:>6}{t.cache_misses:>6}"
+        )
+        lines.append(
+            f"cache hit rate: {t.cache_hit_rate:.1%} "
+            f"({t.cache_hits}/{t.cache_hits + t.cache_misses})"
+        )
+        return "\n".join(lines)

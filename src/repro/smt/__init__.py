@@ -11,8 +11,9 @@ verifier needs:
 * the term language in :mod:`repro.smt.terms`.
 """
 
+from .cache import GLOBAL_CACHE, SolverCache
 from .plugin import LazyTheoryPlugin
-from .solver import Result, Solver, eval_int
+from .solver import Result, Solver, SolverStats, eval_int
 from .sorts import BOOL, INT, OBJ, Sort
 from .terms import (
     FALSE,
@@ -48,11 +49,14 @@ __all__ = [
     "INT",
     "OBJ",
     "FALSE",
+    "GLOBAL_CACHE",
     "TRUE",
     "FunSym",
     "LazyTheoryPlugin",
     "Result",
     "Solver",
+    "SolverCache",
+    "SolverStats",
     "Sort",
     "Term",
     "eval_int",

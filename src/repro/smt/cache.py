@@ -1,0 +1,346 @@
+"""Process-wide memoization of solver verdicts: the SMT query cache.
+
+The verification driver builds a fresh ``EncodeContext``/``Translator``
+pipeline for every ``switch``, ``cond``, and ``let`` it checks, so
+structurally identical queries recur constantly -- both within one
+program (the same invariant instantiated at many sites) and across
+repeated verification passes.  Solving is by far the dominant cost of
+verification, so memoizing verdicts is the single biggest lever on the
+hot path.
+
+A query is fingerprinted by a *canonical serialization* of
+
+* the assertion set, with variables alpha-renamed in first-occurrence
+  order and function symbols identified by name and sorts (fresh-name
+  counters therefore do not defeat the cache),
+* the lazy plugin's *trigger signature*: every registration whose
+  trigger atom occurs in the assertion set, as (canonical atom,
+  polarity, depth, weak, callback code site) -- two queries with the
+  same assertions but different axiom schemata must not collide, and
+* the solver's iterative-deepening schedule.
+
+Only conclusive verdicts are memoized; UNKNOWN is never cached (it
+depends on wall-clock budgets, not on the query).  SAT entries carry a
+canonicalized snapshot of the theory model, decoded back into the
+hitting query's own term space on lookup, so counterexample rendering
+is unaffected by whether a verdict came from the cache.
+
+Registrations whose trigger atom does *not* occur in the assertions
+are excluded from the signature on purpose: callbacks register their
+children while firing, so the registry grows during solving, and
+including those grown entries would make a query's fingerprint depend
+on which earlier queries happened to hit the cache.  Excluding them is
+sound because ``LazyTheoryPlugin.register`` is first-wins and, within
+one encoding context, the registration for an atom is a deterministic
+function of that atom.
+
+The cache is a process-wide LRU (:data:`GLOBAL_CACHE`); pass
+``Solver(cache=None)`` to bypass it or a private :class:`SolverCache`
+to isolate it.  It is not thread-safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Callable, Iterable, Sequence
+
+from . import terms as tm
+from .sorts import BOOL, INT, OBJ, Sort
+from .terms import FunSym, Term
+from .theory import TheoryModel
+
+_SORT_BY_NAME = {"Bool": BOOL, "Int": INT, "Obj": OBJ}
+
+#: bump when the serialization format changes
+_FORMAT_VERSION = 1
+
+
+def _sort_named(name: str) -> Sort:
+    return _SORT_BY_NAME.get(name) or Sort(name)
+
+
+def _callback_site(callback: Callable) -> str:
+    """A stable-within-the-process identity for an axiom callback."""
+    code = getattr(callback, "__code__", None)
+    if code is not None:
+        return f"{code.co_filename}:{code.co_firstlineno}"
+    cls = type(callback)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+class _Canonicalizer:
+    """Structural term serialization with alpha-renamed variables.
+
+    One instance per fingerprint; it doubles as the translation table
+    used to decode a stored model back into the current query's terms
+    (canonical variable id -> this query's variable, function-symbol
+    key -> this query's ``FunSym``).
+    """
+
+    def __init__(self) -> None:
+        self._var_nodes: dict[Term, tuple] = {}
+        self.vars_by_id: list[Term] = []
+        self._funsym_keys: dict[FunSym, tuple] = {}
+        self.funsyms_by_key: dict[tuple, FunSym] = {}
+        self._memo: dict[Term, tuple] = {}
+        #: set once the digest is computed; variables first seen after
+        #: that (model-only terms) keep their source name in the node so
+        #: decoding can reproduce them faithfully
+        self._digest_frozen = False
+
+    def freeze_digest(self) -> None:
+        self._digest_frozen = True
+
+    # -- encoding ----------------------------------------------------------
+
+    def _var_node(self, t: Term) -> tuple:
+        node = self._var_nodes.get(t)
+        if node is None:
+            index = len(self.vars_by_id)
+            self.vars_by_id.append(t)
+            if self._digest_frozen:
+                node = ("v", index, t.sort.name, str(t.payload))
+            else:
+                node = ("v", index, t.sort.name)
+            self._var_nodes[t] = node
+        return node
+
+    def _funsym_key(self, sym: FunSym) -> tuple:
+        key = self._funsym_keys.get(sym)
+        if key is None:
+            key = (
+                sym.name,
+                tuple(s.name for s in sym.arg_sorts),
+                sym.result_sort.name,
+            )
+            self._funsym_keys[sym] = key
+            self.funsyms_by_key.setdefault(key, sym)
+        return key
+
+    def encode(self, t: Term) -> tuple:
+        """Canonical node for ``t`` (explicit stack; terms can be deep)."""
+        memo = self._memo
+        node = memo.get(t)
+        if node is not None:
+            return node
+        stack: list[tuple[Term, bool]] = [(t, False)]
+        while stack:
+            term, expanded = stack.pop()
+            if term in memo:
+                continue
+            if not expanded:
+                stack.append((term, True))
+                for arg in term.args:
+                    if arg not in memo:
+                        stack.append((arg, False))
+                continue
+            kind = term.kind
+            if kind == tm.VAR:
+                memo[term] = self._var_node(term)
+            elif kind == tm.INT_CONST:
+                memo[term] = ("i", term.payload)
+            elif kind == tm.BOOL_CONST:
+                memo[term] = ("b", term.payload)
+            elif kind == tm.APP:
+                memo[term] = (
+                    "a",
+                    self._funsym_key(term.payload),
+                    tuple(memo[a] for a in term.args),
+                )
+            else:
+                memo[term] = (kind, tuple(memo[a] for a in term.args))
+        return memo[t]
+
+    # -- decoding ----------------------------------------------------------
+
+    _BUILDERS: dict[str, Callable] = {
+        tm.ADD: tm.mk_add,
+        tm.MUL: tm.mk_mul,
+        tm.LE: tm.mk_le,
+        tm.EQ: tm.mk_eq,
+        tm.NOT: tm.mk_not,
+        tm.AND: tm.mk_and,
+        tm.OR: tm.mk_or,
+        tm.IMPLIES: tm.mk_implies,
+        tm.IFF: tm.mk_iff,
+        tm.ITE: tm.mk_ite,
+    }
+
+    def decode(self, node: tuple, memo: dict) -> Term:
+        """Rebuild a stored node in this canonicalizer's term space."""
+        hit = memo.get(node)
+        if hit is not None:
+            return hit
+        tag = node[0]
+        if tag == "v":
+            index = node[1]
+            if index < len(self.vars_by_id):
+                term = self.vars_by_id[index]
+            else:
+                # A variable the current query never mentions (it was
+                # minted during the stored run's solving); reproduce its
+                # name when recorded, else a reserved one.
+                name = node[3] if len(node) > 3 else f"?cache{index}"
+                term = tm.mk_var(name, _sort_named(node[2]))
+        elif tag == "i":
+            term = tm.mk_int(node[1])
+        elif tag == "b":
+            term = tm.mk_bool(node[1])
+        elif tag == "a":
+            key = node[1]
+            sym = self.funsyms_by_key.get(key)
+            if sym is None:
+                sym = FunSym(
+                    key[0],
+                    [_sort_named(n) for n in key[1]],
+                    _sort_named(key[2]),
+                )
+                self.funsyms_by_key[key] = sym
+            term = tm.mk_app(sym, [self.decode(a, memo) for a in node[2]])
+        else:
+            builder = self._BUILDERS[tag]
+            term = builder(*[self.decode(a, memo) for a in node[1]])
+        memo[node] = term
+        return term
+
+
+class Fingerprint:
+    """The cache key for one ``check()`` call plus its decode tables."""
+
+    __slots__ = ("digest", "canon")
+
+    def __init__(self, digest: bytes, canon: _Canonicalizer):
+        self.digest = digest
+        self.canon = canon
+
+
+def fingerprint_query(
+    assertions: Sequence[Term],
+    plugin,
+    depth_schedule: Iterable[int],
+) -> Fingerprint:
+    """Fingerprint an assertion set under a plugin's trigger signature."""
+    canon = _Canonicalizer()
+    parts: list[Any] = [_FORMAT_VERSION, tuple(depth_schedule)]
+    if plugin is not None and plugin.signature is not None:
+        parts.append(("S", repr(plugin.signature)))
+    for assertion in assertions:
+        parts.append(("A", canon.encode(assertion)))
+    if plugin is not None and plugin.has_triggers():
+        atoms: set[Term] = set()
+        for assertion in assertions:
+            atoms.update(tm.subterms(assertion))
+        for atom, polarity, depth, weak, callback in plugin.registrations():
+            if atom in atoms:
+                parts.append(
+                    (
+                        "T",
+                        canon.encode(atom),
+                        polarity,
+                        depth,
+                        weak,
+                        _callback_site(callback),
+                    )
+                )
+    canon.freeze_digest()
+    digest = hashlib.sha256(repr(parts).encode("utf-8")).digest()
+    return Fingerprint(digest, canon)
+
+
+# ---------------------------------------------------------------------------
+# Model snapshots
+# ---------------------------------------------------------------------------
+
+
+def _encode_model(model: TheoryModel, canon: _Canonicalizer) -> tuple:
+    return (
+        tuple((canon.encode(k), v) for k, v in model.int_values.items()),
+        tuple((canon.encode(k), v) for k, v in model.obj_class.items()),
+        tuple((canon.encode(k), v) for k, v in model.atom_values.items()),
+    )
+
+
+def _decode_model(stored: tuple, canon: _Canonicalizer) -> TheoryModel:
+    memo: dict = {}
+    ints, objs, atoms = stored
+    model = TheoryModel()
+    for node, value in ints:
+        model.int_values[canon.decode(node, memo)] = value
+    for node, value in objs:
+        model.obj_class[canon.decode(node, memo)] = value
+    for node, value in atoms:
+        model.atom_values[canon.decode(node, memo)] = value
+    return model
+
+
+# ---------------------------------------------------------------------------
+# The LRU cache proper
+# ---------------------------------------------------------------------------
+
+
+class SolverCache:
+    """An LRU of conclusive verdicts keyed by query fingerprints."""
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = max_entries
+        self._entries: OrderedDict[bytes, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def fingerprint(
+        self,
+        assertions: Sequence[Term],
+        plugin,
+        depth_schedule: Iterable[int],
+    ) -> Fingerprint:
+        return fingerprint_query(assertions, plugin, depth_schedule)
+
+    def lookup(self, fp: Fingerprint):
+        """The stored (verdict, model-or-None), or None on a miss."""
+        entry = self._entries.get(fp.digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        verdict, stored_model = entry
+        model = None
+        if stored_model is not None:
+            try:
+                model = _decode_model(stored_model, fp.canon)
+            except Exception:
+                # A snapshot we cannot reproduce is useless: drop the
+                # entry and let the caller solve afresh.
+                del self._entries[fp.digest]
+                self.misses += 1
+                return None
+        self._entries.move_to_end(fp.digest)
+        self.hits += 1
+        return verdict, model
+
+    def store(self, fp: Fingerprint, verdict, model: TheoryModel | None) -> None:
+        if getattr(verdict, "value", None) == "unknown":
+            raise ValueError("UNKNOWN verdicts must never be cached")
+        snapshot = None if model is None else _encode_model(model, fp.canon)
+        self._entries[fp.digest] = (verdict, snapshot)
+        self._entries.move_to_end(fp.digest)
+        self.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+
+#: the process-wide cache every Solver uses unless told otherwise
+GLOBAL_CACHE = SolverCache()

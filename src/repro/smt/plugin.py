@@ -45,6 +45,11 @@ class LazyTheoryPlugin:
     """Depth-bounded, trigger-driven axiom expansion."""
 
     max_depth: int = 4
+    #: opaque salt identifying the axiom universe the callbacks draw
+    #: from (e.g. a digest of the program table and viewer); queries
+    #: whose triggers look alike but expand against different
+    #: declarations must not share cache entries
+    signature: object = None
     #: (atom, polarity) -> registration
     _registry: dict[tuple[Term, bool], _Registration] = field(default_factory=dict)
     #: set when an expansion was suppressed because of the depth bound
@@ -67,6 +72,18 @@ class LazyTheoryPlugin:
 
     def has_triggers(self) -> bool:
         return bool(self._registry)
+
+    def registrations(self) -> list[tuple[Term, bool, int, bool, AxiomFn]]:
+        """Snapshot of (atom, polarity, depth, weak, callback) entries.
+
+        The query cache uses this as the plugin's *trigger signature*:
+        two queries with identical assertions but different axiom
+        schemata must fingerprint differently.
+        """
+        return [
+            (atom, polarity, reg.depth, reg.weak, reg.callback)
+            for (atom, polarity), reg in self._registry.items()
+        ]
 
     def pending(self, assignment: dict[Term, bool]) -> bool:
         """Would `expand` produce anything (or be depth-suppressed)?"""

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from . import budget
 from . import terms as tm
+from .cache import GLOBAL_CACHE, SolverCache
 from .cnf import CnfBuilder
 from .plugin import LazyTheoryPlugin
 from .sat import FALSE_VAL, TRUE_VAL, SatSolver
@@ -49,6 +50,8 @@ class SolverStats:
     theory_conflicts: int = 0
     axioms_asserted: int = 0
     deepening_passes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class Solver:
@@ -57,16 +60,26 @@ class Solver:
     #: iterative deepening schedule for the lazy plugin
     DEPTH_SCHEDULE = (2, 4, 8)
     MAX_ROUNDS = 4000
-    #: wall-clock budget per check(); queries beyond it answer UNKNOWN,
-    #: which the verifier reports as "could not decide" -- the paper's
-    #: iterative-deepening time budget plays the same role (Section 6.2)
+    #: default wall-clock budget per check(); queries beyond it answer
+    #: UNKNOWN, which the verifier reports as "could not decide" -- the
+    #: paper's iterative-deepening time budget plays the same role
+    #: (Section 6.2).  Override per instance via ``time_budget``.
     TIME_BUDGET = 8.0
 
-    def __init__(self, plugin: LazyTheoryPlugin | None = None):
+    def __init__(
+        self,
+        plugin: LazyTheoryPlugin | None = None,
+        cache: SolverCache | None = GLOBAL_CACHE,
+        time_budget: float | None = None,
+    ):
         self._assertions: list[Term] = []
         self._stack: list[int] = []
         self.plugin = plugin or LazyTheoryPlugin()
         self._model: TheoryModel | None = None
+        #: verdict memoization; None disables (every query solved fresh)
+        self.cache = cache
+        #: per-instance wall-clock budget; None falls back to TIME_BUDGET
+        self.time_budget = time_budget
         #: a pass blocked candidate models that relied on suppressed
         #: expansions; its UNSAT answer is then inconclusive
         self._blocked_unconfirmed = False
@@ -78,27 +91,49 @@ class Solver:
         if not term.is_bool:
             raise ValueError("assertions must be boolean terms")
         self._assertions.append(term)
+        self._model = None
 
     def push(self) -> None:
         self._stack.append(len(self._assertions))
+        self._model = None
 
     def pop(self) -> None:
         mark = self._stack.pop()
         del self._assertions[mark:]
+        self._model = None
 
     # -- solving ----------------------------------------------------------
 
     def check(self) -> Result:
         """Decide the conjunction of current assertions."""
         self._model = None
-        self._deadline = time.monotonic() + self.TIME_BUDGET
-        budget.arm(self.TIME_BUDGET)
+        fp = None
+        if self.cache is not None:
+            fp = self.cache.fingerprint(
+                self._assertions, self.plugin, self.DEPTH_SCHEDULE
+            )
+            hit = self.cache.lookup(fp)
+            if hit is not None:
+                verdict, model = hit
+                self.stats.cache_hits += 1
+                self._model = model
+                return verdict
+            self.stats.cache_misses += 1
+        seconds = (
+            self.TIME_BUDGET if self.time_budget is None else self.time_budget
+        )
+        self._deadline = time.monotonic() + seconds
+        budget.arm(seconds)
         try:
-            return self._check_with_deepening()
+            result = self._check_with_deepening()
         except budget.BudgetExceeded:
-            return Result.UNKNOWN
+            result = Result.UNKNOWN
         finally:
             budget.disarm()
+        if fp is not None and result != Result.UNKNOWN:
+            # UNKNOWN depends on the budget, not the query: never cached.
+            self.cache.store(fp, result, self._model)
+        return result
 
     def _check_with_deepening(self) -> Result:
         if not self.plugin.has_triggers():

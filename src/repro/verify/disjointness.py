@@ -15,10 +15,11 @@ from __future__ import annotations
 from ..errors import Diagnostics, Span, WarningKind
 from ..lang import ast
 from ..modes.mode import RESULT, Mode
-from ..smt import Result, Solver
+from ..smt import Result
 from ..smt.sorts import OBJ
 from . import fir
 from .fir import F
+from .solving import SolverSession
 from .translate import EncodeContext, TranslationError, Translator, VEnv
 
 
@@ -47,9 +48,12 @@ def _collect_disjoint_ors(expr: ast.Expr, out: list[ast.PatOr]) -> None:
 
 
 class DisjointnessChecker:
-    def __init__(self, table, diag: Diagnostics):
+    def __init__(
+        self, table, diag: Diagnostics, session: SolverSession | None = None
+    ):
         self.table = table
         self.diag = diag
+        self.session = session or SolverSession()
 
     def check_formula(
         self,
@@ -90,10 +94,9 @@ class DisjointnessChecker:
             # Arms we cannot translate are not checked; the paper's
             # compiler similarly reports only what it can analyze.
             return
-        solver = Solver(ctx.plugin)
-        for f in context + [left, right]:
-            solver.add(f.to_term())
-        result = solver.check()
+        result, _ = self.session.check(
+            ctx.plugin, [f.to_term() for f in context + [left, right]]
+        )
         if result != Result.UNSAT and (
             self._involves_abstraction(left, ctx)
             or self._involves_abstraction(right, ctx)

@@ -22,11 +22,12 @@ from dataclasses import dataclass, field
 
 from ..errors import Diagnostics, Span, WarningKind
 from ..lang import ast
-from ..smt import Result, Solver
+from ..smt import Result
 from ..smt.solver import eval_int
 from ..smt.theory import TheoryModel
 from . import fir
 from .fir import F, negate
+from .solving import SolverSession
 from .translate import EncodeContext, TranslationError, Translator, TupleVal, VEnv
 
 
@@ -45,24 +46,25 @@ class CheckOutcome:
 class ExhaustivenessChecker:
     """Checks cond/switch/let statements within one method context."""
 
-    def __init__(self, ctx: EncodeContext, owner: str | None, diag: Diagnostics):
+    def __init__(
+        self,
+        ctx: EncodeContext,
+        owner: str | None,
+        diag: Diagnostics,
+        session: SolverSession | None = None,
+    ):
         self.ctx = ctx
         self.owner = owner
         self.diag = diag
-
-    def _solver(self) -> Solver:
-        return Solver(self.ctx.plugin)
+        self.session = session or SolverSession()
 
     def _translator(self) -> Translator:
         return Translator(self.ctx, self.owner)
 
     def _check(self, formulas: list[F]) -> tuple[Result, TheoryModel | None]:
-        solver = self._solver()
-        for f in formulas:
-            solver.add(f.to_term())
-        result = solver.check()
-        model = solver.model() if result == Result.SAT else None
-        return result, model
+        return self.session.check(
+            self.ctx.plugin, [f.to_term() for f in formulas]
+        )
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,62 @@
+"""Shared solver construction and instrumentation for the checkers.
+
+Every checker (exhaustiveness, totality, disjointness) used to build
+bare :class:`~repro.smt.solver.Solver` instances; a
+:class:`SolverSession` centralizes that so one verification run has a
+single place to
+
+* thread the per-query time budget to the solver *instance* (never by
+  mutating ``Solver.TIME_BUDGET``, which would leak to every later
+  in-process caller),
+* choose the query cache (the process-wide one by default, a private
+  one, or none), and
+* record per-query wall time and solver counters against the method
+  currently being verified.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..metrics.solver_stats import VerifyStats
+from ..smt import Result, Solver
+from ..smt.cache import GLOBAL_CACHE, SolverCache
+from ..smt.plugin import LazyTheoryPlugin
+from ..smt.terms import Term
+from ..smt.theory import TheoryModel
+
+
+class SolverSession:
+    """One verification run's solver configuration and statistics."""
+
+    def __init__(
+        self,
+        budget: float | None = None,
+        cache: SolverCache | None = GLOBAL_CACHE,
+        stats: VerifyStats | None = None,
+    ):
+        self.budget = budget
+        self.cache = cache
+        self.stats = stats
+        #: set by the driver around each method; labels the stats rows
+        self.method_label = "<toplevel>"
+
+    def solver(self, plugin: LazyTheoryPlugin | None = None) -> Solver:
+        return Solver(plugin, cache=self.cache, time_budget=self.budget)
+
+    def check(
+        self, plugin: LazyTheoryPlugin | None, terms: list[Term]
+    ) -> tuple[Result, TheoryModel | None]:
+        """Solve one query, recording it against the current method."""
+        solver = self.solver(plugin)
+        for term in terms:
+            solver.add(term)
+        start = time.perf_counter()
+        result = solver.check()
+        elapsed = time.perf_counter() - start
+        if self.stats is not None:
+            self.stats.record(
+                self.method_label, result.value, elapsed, solver.stats
+            )
+        model = solver.model() if result == Result.SAT else None
+        return result, model

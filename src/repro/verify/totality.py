@@ -22,18 +22,22 @@ from ..errors import Diagnostics, WarningKind
 from ..lang import ast
 from ..lang.symbols import MethodInfo
 from ..modes.mode import RESULT, Mode
-from ..smt import Result, Solver
+from ..smt import Result
 from ..smt.sorts import OBJ
 from . import fir
 from .extract import extract_ensures, extract_matches
 from .fir import F, negate
+from .solving import SolverSession
 from .translate import EncodeContext, TranslationError, Translator, VEnv
 
 
 class TotalityChecker:
-    def __init__(self, table, diag: Diagnostics):
+    def __init__(
+        self, table, diag: Diagnostics, session: SolverSession | None = None
+    ):
         self.table = table
         self.diag = diag
+        self.session = session or SolverSession()
 
     def check_method(self, method: MethodInfo) -> None:
         decl = method.decl
@@ -194,7 +198,7 @@ class TotalityChecker:
             )
 
     def _solve(self, ctx: EncodeContext, formulas: list[F]) -> Result:
-        solver = Solver(ctx.plugin)
-        for f in formulas:
-            solver.add(f.to_term())
-        return solver.check()
+        result, _ = self.session.check(
+            ctx.plugin, [f.to_term() for f in formulas]
+        )
+        return result

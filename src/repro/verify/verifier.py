@@ -19,19 +19,23 @@ warnings given to the programmer" -- the driver returns a
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
 from ..errors import Diagnostics, WarningKind
 from ..lang import ast
 from ..lang.symbols import MethodInfo, ProgramTable
+from ..metrics.solver_stats import VerifyStats
 from ..modes.mode import RESULT
 from ..modes.ordering import declared_vars
+from ..smt.cache import GLOBAL_CACHE, SolverCache
 from . import fir
 from .disjointness import DisjointnessChecker
 from .exhaustiveness import ExhaustivenessChecker
 from .extract import mode_knowns
 from .fir import F
+from .solving import SolverSession
 from .totality import TotalityChecker
 from .translate import EncodeContext, TranslationError, Translator, VEnv
 
@@ -42,6 +46,8 @@ class VerificationReport:
     seconds: float = 0.0
     methods_checked: int = 0
     statements_checked: int = 0
+    #: per-method and total solver instrumentation for this run
+    solver_stats: VerifyStats | None = None
 
     def of_kind(self, kind: WarningKind):
         return self.diagnostics.of_kind(kind)
@@ -52,11 +58,19 @@ class VerificationReport:
 
 
 class Verifier:
-    def __init__(self, table: ProgramTable):
+    def __init__(
+        self,
+        table: ProgramTable,
+        budget: float | None = None,
+        cache: SolverCache | None = GLOBAL_CACHE,
+    ):
         self.table = table
         self.diag = Diagnostics()
-        self.totality = TotalityChecker(table, self.diag)
-        self.disjointness = DisjointnessChecker(table, self.diag)
+        self.session = SolverSession(
+            budget=budget, cache=cache, stats=VerifyStats()
+        )
+        self.totality = TotalityChecker(table, self.diag, self.session)
+        self.disjointness = DisjointnessChecker(table, self.diag, self.session)
         self.statements_checked = 0
         self.methods_checked = 0
 
@@ -68,6 +82,7 @@ class Verifier:
             if info.decl is None:
                 continue
             for inv in info.invariants:
+                self.session.method_label = f"invariant of {info.name}"
                 self.disjointness.check_formula(
                     inv.formula,
                     info.name,
@@ -86,6 +101,7 @@ class Verifier:
             seconds=time.perf_counter() - start,
             methods_checked=self.methods_checked,
             statements_checked=self.statements_checked,
+            solver_stats=self.session.stats,
         )
 
     # ------------------------------------------------------------------
@@ -93,6 +109,9 @@ class Verifier:
     def _verify_method(self, method: MethodInfo) -> None:
         self.methods_checked += 1
         owner = method.owner or None
+        self.session.method_label = (
+            f"{owner}.{method.name}" if owner else method.name
+        )
         self.totality.check_method(method)
         decl = method.decl
         scope = self._method_scope(method)
@@ -120,7 +139,7 @@ class Verifier:
                     f"{method.name} in mode {mode}",
                 )
         elif isinstance(decl.body, ast.Block):
-            walker = _BodyWalker(self, owner, scope)
+            walker = _BodyWalker(self, owner)
             walker.walk(decl.body.statements, dict(scope), [])
 
     def _method_scope(self, method: MethodInfo) -> dict[str, ast.Type | None]:
@@ -137,10 +156,41 @@ class Verifier:
         return scope
 
 
+def _expr_names(expr: ast.Expr) -> set[str]:
+    """Every variable name mentioned (or bound) in a source expression.
+
+    Used to decide which path conditions an imperative re-binding
+    invalidates; bound names (pattern declarations) are included, which
+    errs on the side of dropping a condition -- always sound, since a
+    smaller path context only weakens later checks.
+    """
+    out: set[str] = set()
+    stack: list = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, list):
+            stack.extend(node)
+            continue
+        if not isinstance(node, ast.Expr):
+            continue
+        if isinstance(node, ast.Var):
+            out.add(node.name)
+        elif isinstance(node, ast.VarDecl):
+            if node.name is not None:
+                out.add(node.name)
+        elif isinstance(node, ast.NotAll):
+            out.update(node.names)
+        for fld in dataclasses.fields(node):
+            value = getattr(node, fld.name)
+            if isinstance(value, (ast.Expr, list)):
+                stack.append(value)
+    return out
+
+
 class _BodyWalker:
     """Walks an imperative body, checking each pattern-matching statement."""
 
-    def __init__(self, verifier: Verifier, owner: str | None, scope):
+    def __init__(self, verifier: Verifier, owner: str | None):
         self.verifier = verifier
         self.table = verifier.table
         self.diag = verifier.diag
@@ -175,7 +225,9 @@ class _BodyWalker:
             context.append(f)
             if holder:
                 env = holder[-1]
-        checker = ExhaustivenessChecker(ctx, self.owner, self.diag)
+        checker = ExhaustivenessChecker(
+            ctx, self.owner, self.diag, self.verifier.session
+        )
         return checker, env, context
 
     def _extend_scope(
@@ -230,8 +282,13 @@ class _BodyWalker:
                 and expr.left.name in scope
             ):
                 # Imperative re-binding: side effects are outside the
-                # reasoning (Section 5.4); drop stale path conditions.
-                return scope, []
+                # reasoning (Section 5.4).  Only conditions mentioning
+                # the re-bound name are stale; the rest still hold and
+                # keep later exhaustiveness contexts precise.
+                assigned = expr.left.name
+                return scope, [
+                    f for f in path if assigned not in _expr_names(f)
+                ]
             if isinstance(expr, ast.Call):
                 return scope, path  # effectful call, nothing to check
             return self._walk_let(expr, stmt.span, scope, path)

@@ -194,8 +194,41 @@ def test_unsat_core_style_blocking_terminates():
 
 
 def test_stats_populated():
-    s = Solver()
+    # cache=None: a hit would legitimately leave sat_rounds at zero.
+    s = Solver(cache=None)
     x = ivar("x")
     s.add(mk_ge(x, mk_int(0)))
     s.check()
     assert s.stats.sat_rounds >= 1
+
+
+def test_model_invalidated_by_pop():
+    # Regression: pop() used to leave the previous SAT model behind, so
+    # model() described assertions that no longer existed.
+    import pytest
+
+    s = Solver()
+    x = ivar("x")
+    s.push()
+    s.add(mk_eq(x, mk_int(7)))
+    assert s.check() == Result.SAT
+    assert eval_int(x, s.model()) == 7
+    s.pop()
+    with pytest.raises(RuntimeError):
+        s.model()
+
+
+def test_model_invalidated_by_add_and_push():
+    import pytest
+
+    s = Solver()
+    x = ivar("x")
+    s.add(mk_ge(x, mk_int(0)))
+    assert s.check() == Result.SAT
+    s.push()
+    with pytest.raises(RuntimeError):
+        s.model()
+    assert s.check() == Result.SAT
+    s.add(mk_le(x, mk_int(5)))
+    with pytest.raises(RuntimeError):
+        s.model()

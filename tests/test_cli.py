@@ -51,6 +51,36 @@ def test_verify_syntax_error_exits_one(program, capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_verify_stats_table(program, capsys):
+    assert main(["verify", program(BUGGY), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "queries" in out
+    assert "cache hit rate" in out
+    assert "total" in out
+
+
+def test_verify_no_cache_output_matches_cached(program, capsys):
+    path = program(BUGGY)
+    assert main(["verify", path]) == 0
+    cached = capsys.readouterr().out
+    assert main(["verify", path, "--no-cache"]) == 0
+    plain = capsys.readouterr().out
+    # Warning lines (everything except the timing summary) must be
+    # byte-identical with and without the cache.
+    strip = lambda text: [l for l in text.splitlines() if not l.startswith("checked ")]
+    assert strip(cached) == strip(plain)
+
+
+def test_verify_budget_does_not_leak_globally(program, capsys):
+    from repro.smt.solver import Solver
+
+    before = Solver.TIME_BUDGET
+    assert main(["verify", program(BUGGY), "--budget", "0.0", "--no-cache"]) == 0
+    assert Solver.TIME_BUDGET == before
+    out = capsys.readouterr().out
+    assert "inconclusive" in out
+
+
 def test_run_function(program, capsys):
     assert main(["run", program(CLEAN), "double", "21"]) == 0
     assert capsys.readouterr().out.strip() == "42"

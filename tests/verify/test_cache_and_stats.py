@@ -1,0 +1,134 @@
+"""Verifier-level tests for the query cache, solver stats, budget
+threading, and the path-condition re-binding fix."""
+
+from repro import api
+from repro.errors import WarningKind
+from repro.smt import SolverCache
+from repro.smt.solver import Solver
+
+from .test_exhaustiveness import NAT_PRELUDE
+
+
+def compile_(source):
+    return api.compile_program(source)
+
+
+def warning_strings(report):
+    return [str(w) for w in report.diagnostics.warnings]
+
+
+#: a program with both a redundant arm and a nonexhaustive switch, so
+#: parity checks cover counterexample rendering too
+WARNY_SOURCE = NAT_PRELUDE + """
+static int observe(Nat n) {
+  switch (n) {
+    case succ(Nat p): return 1;
+    case succ(succ(Nat pp)): return 2;
+    case zero(): return 0;
+  }
+}
+static int partial(Nat n) {
+  switch (n) {
+    case succ(Nat p): return 1;
+  }
+}
+"""
+
+
+class TestCacheParity:
+    def test_cached_passes_report_identical_warnings(self):
+        # Same unit verified three times: cold cache, warm cache, and
+        # no cache.  Warnings -- including counterexample text -- must
+        # be byte-identical regardless of where verdicts came from.
+        unit = compile_(WARNY_SOURCE)
+        cache = SolverCache()
+        cold = api.verify(unit, cache=cache)
+        warm = api.verify(unit, cache=cache)
+        plain = api.verify(unit, cache=None)
+        assert warning_strings(cold) == warning_strings(warm)
+        assert warning_strings(warm) == warning_strings(plain)
+        assert warm.solver_stats.total.cache_hits > 0
+
+    def test_uncached_run_records_no_cache_traffic(self):
+        unit = compile_(WARNY_SOURCE)
+        report = api.verify(unit, cache=None)
+        assert report.solver_stats.total.cache_hits == 0
+        assert report.solver_stats.total.cache_misses == 0
+
+
+class TestSolverStatsSurfaced:
+    def test_report_carries_per_method_stats(self):
+        unit = compile_(WARNY_SOURCE)
+        report = api.verify(unit, cache=SolverCache())
+        stats = report.solver_stats
+        assert stats is not None
+        assert stats.total.queries > 0
+        assert stats.total.seconds > 0.0
+        assert any("observe" in label for label in stats.per_method)
+        assert any("partial" in label for label in stats.per_method)
+        # Verdict tallies are consistent with the query count.
+        total = stats.total
+        assert total.sat + total.unsat + total.unknown == total.queries
+
+    def test_format_table_mentions_methods_and_hit_rate(self):
+        unit = compile_(WARNY_SOURCE)
+        cache = SolverCache()
+        api.verify(unit, cache=cache)
+        report = api.verify(unit, cache=cache)
+        table = report.solver_stats.format_table()
+        assert "observe" in table
+        assert "cache hit rate" in table
+        assert "total" in table
+
+
+class TestBudgetThreading:
+    def test_budget_is_per_run_not_global(self):
+        # Regression: the CLI used to assign Solver.TIME_BUDGET, so one
+        # run's --budget leaked into every later solver in the process.
+        unit = compile_(NAT_PRELUDE + """
+        static int f(Nat n) {
+          switch (n) {
+            case zero(): return 0;
+            case succ(Nat p): return 1;
+          }
+        }
+        """)
+        before = Solver.TIME_BUDGET
+        starved = api.verify(unit, budget=0.0, cache=None)
+        assert Solver.TIME_BUDGET == before
+        assert starved.of_kind(WarningKind.UNKNOWN)
+        # A later default-budget run is unaffected by the starved one.
+        normal = api.verify(unit, cache=None)
+        assert not normal.of_kind(WarningKind.UNKNOWN)
+        assert not normal.of_kind(WarningKind.NONEXHAUSTIVE)
+
+
+class TestPathConditionRebinding:
+    def test_rebinding_unrelated_variable_keeps_path(self):
+        # Regression: assigning to *any* variable used to drop *every*
+        # path condition, so the k >= 0 guard was forgotten and the
+        # let reported as possibly failing.
+        source = NAT_PRELUDE + """
+        static ZNat f(int k, int y) {
+          cond {
+            (k >= 0) { y = 5; let ZNat z = ZNat(k); return z; }
+            else return ZNat(0);
+          }
+        }
+        """
+        report = api.verify(compile_(source), cache=None)
+        assert not report.of_kind(WarningKind.LET_MAY_FAIL)
+
+    def test_rebinding_guarded_variable_drops_path(self):
+        # Assigning to the variable the guard mentions must still
+        # invalidate it: after k = k - 2 the guard k >= 0 is stale.
+        source = NAT_PRELUDE + """
+        static ZNat g(int k) {
+          cond {
+            (k >= 0) { k = k - 2; let ZNat z = ZNat(k); return z; }
+            else return ZNat(0);
+          }
+        }
+        """
+        report = api.verify(compile_(source), cache=None)
+        assert report.of_kind(WarningKind.LET_MAY_FAIL)
