@@ -1,0 +1,135 @@
+"""The verification performance trajectory: cold/warm, serial/parallel.
+
+Verifies the built-in corpus (the five conclusively-verifiable Table 1
+groups; ``trees`` answers UNKNOWN by exhausting any budget, and UNKNOWN
+is never cached, so it would only add constant noise) under four
+configurations and writes the measurements to ``BENCH_verify.json``:
+
+* **serial cold** — ``jobs=1`` against an empty disk cache;
+* **serial warm** — the same run again: every conclusive verdict now
+  comes from the disk tier, so wall time is compile + fingerprint cost;
+* **parallel cold / warm** — ``jobs=4`` with its own disk cache;
+* **no-cache serial / parallel** — both cache tiers off, isolating the
+  parallel engine's speedup from cache effects.
+
+Run it directly (``python benchmarks/bench_verify.py``) to refresh the
+JSON; ``test_bench_verify.py`` asserts the floor the ISSUE demands
+(warm >= 2x cold always; parallel >= 1.5x when enough cores exist) so
+future PRs cannot silently regress either axis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import api
+from repro.corpus import combined_programs
+
+GROUPS = ["nat", "lists", "cps", "typeinf", "collections"]
+JOBS = 4
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_verify.json"
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # macOS/Windows
+        return os.cpu_count() or 1
+
+
+def compile_units():
+    programs = combined_programs()
+    return {group: api.compile_program(programs[group]) for group in GROUPS}
+
+
+def verify_corpus(units, jobs: int, cache_dir: str | None, use_cache: bool):
+    """One full pass over the corpus; returns (seconds, reports)."""
+    cache = api.GLOBAL_CACHE if use_cache else None
+    start = time.perf_counter()
+    reports = {
+        group: api.verify(
+            units[group], cache=cache, jobs=jobs, cache_dir=cache_dir
+        )
+        for group in GROUPS
+    }
+    return time.perf_counter() - start, reports
+
+
+def _totals(reports):
+    queries = sum(r.solver_stats.total.queries for r in reports.values())
+    hits = sum(r.solver_stats.total.cache_hits for r in reports.values())
+    misses = sum(r.solver_stats.total.cache_misses for r in reports.values())
+    warnings = sum(len(r.diagnostics.warnings) for r in reports.values())
+    return queries, hits, misses, warnings
+
+
+def run_bench(jobs: int = JOBS) -> dict:
+    units = compile_units()
+    with tempfile.TemporaryDirectory(prefix="bench-verify-") as tmp:
+        serial_dir = os.path.join(tmp, "serial")
+        parallel_dir = os.path.join(tmp, "parallel")
+
+        serial_cold_s, cold_reports = verify_corpus(units, 1, serial_dir, True)
+        serial_warm_s, warm_reports = verify_corpus(units, 1, serial_dir, True)
+        parallel_cold_s, par_cold = verify_corpus(units, jobs, parallel_dir, True)
+        parallel_warm_s, par_warm = verify_corpus(units, jobs, parallel_dir, True)
+        nocache_serial_s, plain = verify_corpus(units, 1, None, False)
+        nocache_parallel_s, par_plain = verify_corpus(units, jobs, None, False)
+
+    queries, _, _, warnings = _totals(cold_reports)
+    _, warm_hits, warm_misses, _ = _totals(warm_reports)
+    for label, reports in (
+        ("warm", warm_reports),
+        ("parallel-cold", par_cold),
+        ("parallel-warm", par_warm),
+        ("no-cache", plain),
+        ("no-cache-parallel", par_plain),
+    ):
+        got = sum(len(r.diagnostics.warnings) for r in reports.values())
+        if got != warnings:
+            raise AssertionError(
+                f"{label} run changed warnings: {got} != {warnings}"
+            )
+
+    return {
+        "benchmark": "bench_verify",
+        "schema_version": 1,
+        "date": time.strftime("%Y-%m-%d"),
+        "python": platform.python_version(),
+        "cpus": usable_cpus(),
+        "jobs": jobs,
+        "groups": GROUPS,
+        "queries_cold": queries,
+        "warnings": warnings,
+        "serial_cold_s": round(serial_cold_s, 4),
+        "serial_warm_s": round(serial_warm_s, 4),
+        "parallel_cold_s": round(parallel_cold_s, 4),
+        "parallel_warm_s": round(parallel_warm_s, 4),
+        "nocache_serial_s": round(nocache_serial_s, 4),
+        "nocache_parallel_s": round(nocache_parallel_s, 4),
+        "warm_cache_hit_rate": round(
+            warm_hits / (warm_hits + warm_misses) if warm_hits + warm_misses else 0.0,
+            4,
+        ),
+        "speedup_warm_vs_cold": round(serial_cold_s / serial_warm_s, 2),
+        "speedup_parallel_vs_serial": round(
+            nocache_serial_s / nocache_parallel_s, 2
+        ),
+    }
+
+
+def main(out_path: Path = OUT_PATH) -> dict:
+    results = run_bench()
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    return results
+
+
+if __name__ == "__main__":
+    sys.exit(0 if main() else 1)

@@ -37,6 +37,8 @@ def verify(
     unit: CompiledUnit,
     budget: float | None = None,
     cache: SolverCache | None = GLOBAL_CACHE,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> VerificationReport:
     """Run the full static verification pass (Sections 5-6).
 
@@ -46,7 +48,39 @@ def verify(
     default, a private :class:`~repro.smt.cache.SolverCache`, or
     ``None`` to solve every query from scratch.  The returned report
     carries per-method solver statistics in ``solver_stats``.
+
+    ``jobs`` selects the verification engine: 1 (the default) runs the
+    serial driver exactly as before; above 1, per-method tasks are
+    fanned out over that many worker processes and merged back in
+    source order, producing byte-identical warnings and counts.
+
+    ``cache_dir`` adds a persistent disk tier under that directory so
+    conclusive verdicts survive across runs.  With the default
+    ``cache`` (the process-wide one), the run uses a private in-memory
+    tier in front of the disk — the global cache itself is never given
+    a disk tier, so its semantics for other callers are unchanged.  A
+    caller-supplied private cache gets the disk tier attached.
+    ``cache=None`` disables both tiers; parallel workers cannot share a
+    caller's in-memory cache object, only the disk tier.
     """
+    use_cache = cache is not None
+    if jobs != 1:
+        from .verify.parallel import verify_parallel
+
+        return verify_parallel(
+            unit.table,
+            jobs=jobs,
+            budget=budget,
+            use_cache=use_cache,
+            cache_dir=cache_dir if use_cache else None,
+        )
+    if use_cache and cache_dir is not None:
+        from .smt.diskcache import DiskCache
+
+        if cache is GLOBAL_CACHE:
+            cache = SolverCache(disk=DiskCache(cache_dir))
+        elif cache.disk is None:
+            cache.disk = DiskCache(cache_dir)
     return Verifier(unit.table, budget=budget, cache=cache).run()
 
 

@@ -3,17 +3,20 @@
 Usage::
 
     python -m repro.cli verify program.jm        # static checks
+    python -m repro.cli verify --jobs 4 *.jm     # parallel, many files
     python -m repro.cli run program.jm main 3 4  # call a function
     python -m repro.cli tokens                   # Table 1 token table
 
 Exit status: 0 on success (for ``verify``: even with warnings, since
 verification "only affects warnings given to the programmer"); 1 on
-compile errors; 2 on bad usage.
+compile errors (with several files: if any file failed to compile);
+2 on bad usage, including a non-positive ``--budget`` or ``--jobs``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import api
@@ -26,26 +29,59 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _cache_dir(args: argparse.Namespace) -> str | None:
+    """The disk-cache location: flag, then env, then the default."""
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    from .smt.diskcache import DEFAULT_CACHE_DIR
+
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
-    try:
-        unit = api.compile_program(_read(args.file), filename=args.file)
-    except JMatchError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    if args.budget is not None and args.budget <= 0:
+        print(
+            f"error: --budget must be positive, got {args.budget}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     from .smt.cache import GLOBAL_CACHE
 
     cache = None if args.no_cache else GLOBAL_CACHE
-    report = api.verify(unit, budget=args.budget, cache=cache)
-    for warning in report.diagnostics.warnings:
-        print(warning)
-    print(
-        f"checked {report.methods_checked} methods, "
-        f"{report.statements_checked} statements in {report.seconds:.2f}s; "
-        f"{len(report.diagnostics.warnings)} warnings"
-    )
-    if args.stats and report.solver_stats is not None:
-        print(report.solver_stats.format_table())
-    return 0
+    cache_dir = _cache_dir(args)
+    status = 0
+    several = len(args.files) > 1
+    for path in args.files:
+        if several:
+            print(f"{path}:")
+        try:
+            unit = api.compile_program(_read(path), filename=path)
+        except JMatchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = max(status, 1)
+            continue
+        report = api.verify(
+            unit,
+            budget=args.budget,
+            cache=cache,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+        )
+        for warning in report.diagnostics.warnings:
+            print(warning)
+        print(
+            f"checked {report.methods_checked} methods, "
+            f"{report.statements_checked} statements in {report.seconds:.2f}s; "
+            f"{len(report.diagnostics.warnings)} warnings"
+        )
+        if args.stats and report.solver_stats is not None:
+            print(report.solver_stats.format_table())
+    return status
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -97,10 +133,22 @@ def main(argv: list[str] | None = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     p_verify = subparsers.add_parser("verify", help="run the static checks")
-    p_verify.add_argument("file")
+    p_verify.add_argument(
+        "files", nargs="+",
+        help="one or more JMatch programs (each verified in turn)",
+    )
     p_verify.add_argument(
         "--budget", type=float, default=None,
-        help="per-query SMT time budget in seconds",
+        help="per-query SMT time budget in seconds (must be positive)",
+    )
+    p_verify.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="verify methods on N worker processes (default: 1, serial)",
+    )
+    p_verify.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent verdict cache location (default: $REPRO_CACHE_DIR "
+        "or .repro-cache)",
     )
     p_verify.add_argument(
         "--stats", action="store_true",
@@ -108,7 +156,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_verify.add_argument(
         "--no-cache", action="store_true",
-        help="solve every SMT query from scratch (disable the query cache)",
+        help="solve every SMT query from scratch (disables both the "
+        "in-memory and the disk cache tier)",
     )
     p_verify.set_defaults(func=cmd_verify)
 

@@ -51,6 +51,20 @@ class QueryStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def merge(self, other: "QueryStats") -> None:
+        """Fold another group's counters into this one."""
+        self.queries += other.queries
+        self.seconds += other.seconds
+        self.sat += other.sat
+        self.unsat += other.unsat
+        self.unknown += other.unknown
+        self.sat_rounds += other.sat_rounds
+        self.theory_conflicts += other.theory_conflicts
+        self.axioms_asserted += other.axioms_asserted
+        self.deepening_passes += other.deepening_passes
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
 
 @dataclass
 class VerifyStats:
@@ -66,6 +80,20 @@ class VerifyStats:
             verdict, seconds, solver_stats
         )
         self.total.add_query(verdict, seconds, solver_stats)
+
+    def merge(self, other: "VerifyStats") -> None:
+        """Fold another run's statistics into this one.
+
+        Used by the parallel verification engine to combine the
+        per-task ``VerifyStats`` coming back from worker processes into
+        one whole-run aggregate.  Method rows are merged by label (a
+        method verified in two parts contributes one combined row), and
+        the grand total is re-accumulated, so a merged aggregate is
+        indistinguishable from one recorded serially.
+        """
+        for name, stats in other.per_method.items():
+            self.per_method.setdefault(name, QueryStats()).merge(stats)
+        self.total.merge(other.total)
 
     def format_table(self) -> str:
         """The ``--stats`` table: one row per method plus totals."""

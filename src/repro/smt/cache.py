@@ -36,12 +36,18 @@ function of that atom.
 
 The cache is a process-wide LRU (:data:`GLOBAL_CACHE`); pass
 ``Solver(cache=None)`` to bypass it or a private :class:`SolverCache`
-to isolate it.  It is not thread-safe.
+to isolate it.  Lookups, stores, and the hit/miss counters are guarded
+by a lock, so a cache may be shared between threads.  A cache may also
+carry a persistent second tier (``disk``, a
+:class:`~repro.smt.diskcache.DiskCache`): consulted on memory miss,
+written through on store, with disk hits promoted into the memory LRU.
+``GLOBAL_CACHE`` has no disk tier.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Iterable, Sequence
 
@@ -280,18 +286,30 @@ def _decode_model(stored: tuple, canon: _Canonicalizer) -> TheoryModel:
 
 
 class SolverCache:
-    """An LRU of conclusive verdicts keyed by query fingerprints."""
+    """An LRU of conclusive verdicts keyed by query fingerprints.
 
-    def __init__(self, max_entries: int = 4096):
+    Entries are ``(verdict, canonical model snapshot)`` pairs built
+    from plain tuples, never live :class:`Term` objects, so they remain
+    valid across interning scopes and pickle cleanly.  All mutation —
+    the LRU order, the entry map, and the hit/miss counters — happens
+    under one lock; the optional ``disk`` tier is consulted and written
+    inside it too, which keeps the promote-on-hit path atomic.
+    """
+
+    def __init__(self, max_entries: int = 4096, disk=None):
         self.max_entries = max_entries
         self._entries: OrderedDict[bytes, tuple] = OrderedDict()
+        self._lock = threading.Lock()
+        #: optional persistent tier (repro.smt.diskcache.DiskCache)
+        self.disk = disk
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_rate(self) -> float:
@@ -299,7 +317,9 @@ class SolverCache:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        self._entries.clear()
+        """Drop the in-memory tier (the disk tier, if any, persists)."""
+        with self._lock:
+            self._entries.clear()
 
     def fingerprint(
         self,
@@ -311,32 +331,61 @@ class SolverCache:
 
     def lookup(self, fp: Fingerprint):
         """The stored (verdict, model-or-None), or None on a miss."""
-        entry = self._entries.get(fp.digest)
-        if entry is None:
-            self.misses += 1
-            return None
-        verdict, stored_model = entry
-        model = None
-        if stored_model is not None:
-            try:
-                model = _decode_model(stored_model, fp.canon)
-            except Exception:
-                # A snapshot we cannot reproduce is useless: drop the
-                # entry and let the caller solve afresh.
-                del self._entries[fp.digest]
+        with self._lock:
+            entry = self._entries.get(fp.digest)
+            if entry is None and self.disk is not None:
+                entry = self._load_from_disk(fp.digest)
+            if entry is None:
                 self.misses += 1
                 return None
-        self._entries.move_to_end(fp.digest)
-        self.hits += 1
-        return verdict, model
+            verdict, stored_model = entry
+            model = None
+            if stored_model is not None:
+                try:
+                    model = _decode_model(stored_model, fp.canon)
+                except Exception:
+                    # A snapshot we cannot reproduce is useless: drop
+                    # the entry and let the caller solve afresh.
+                    self._entries.pop(fp.digest, None)
+                    if self.disk is not None:
+                        self.disk.invalidate(fp.digest)
+                    self.misses += 1
+                    return None
+            self._entries[fp.digest] = entry
+            self._entries.move_to_end(fp.digest)
+            self._evict()
+            self.hits += 1
+            return verdict, model
+
+    def _load_from_disk(self, digest: bytes):
+        """Fetch a digest from the persistent tier, as a memory entry."""
+        loaded = self.disk.load(digest)
+        if loaded is None:
+            return None
+        verdict_value, snapshot = loaded
+        from .solver import Result
+
+        try:
+            return Result(verdict_value), snapshot
+        except ValueError:
+            self.disk.invalidate(digest)
+            return None
 
     def store(self, fp: Fingerprint, verdict, model: TheoryModel | None) -> None:
         if getattr(verdict, "value", None) == "unknown":
             raise ValueError("UNKNOWN verdicts must never be cached")
         snapshot = None if model is None else _encode_model(model, fp.canon)
-        self._entries[fp.digest] = (verdict, snapshot)
-        self._entries.move_to_end(fp.digest)
-        self.stores += 1
+        with self._lock:
+            self._entries[fp.digest] = (verdict, snapshot)
+            self._entries.move_to_end(fp.digest)
+            self.stores += 1
+            self._evict()
+            if self.disk is not None:
+                self.disk.store(
+                    fp.digest, getattr(verdict, "value", str(verdict)), snapshot
+                )
+
+    def _evict(self) -> None:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1

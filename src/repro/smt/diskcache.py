@@ -1,0 +1,168 @@
+"""The persistent tier of the SMT query cache.
+
+:class:`~repro.smt.cache.SolverCache` memoizes verdicts for the
+lifetime of one process; this module adds a second, disk-backed tier so
+conclusive verdicts survive across runs.  Re-verifying an unchanged
+corpus then does near-zero solving: every query misses the (fresh)
+in-memory tier, hits the disk, and is promoted back into memory.
+
+Entries are keyed by the same canonical fingerprints as the memory
+tier.  Because fingerprints alpha-rename variables and identify
+function symbols structurally — and because the verifier builds each
+method's queries inside a pristine interning scope
+(:func:`repro.smt.terms.scoped_intern_state`) — an entry written by a
+serial run is hit by a parallel worker verifying the same method, and
+vice versa.
+
+Layout and safety:
+
+* entries live under ``<root>/v<fingerprint-format>-<entry-format>/``,
+  sharded by the first byte of the digest; bumping either format
+  version changes the directory name, which invalidates every old
+  entry at once (a *format-version salt*, never a wrong-format read);
+* each entry is written to a temporary file in its final directory and
+  published with :func:`os.replace`, so concurrent workers and
+  concurrent CLI runs racing on the same key can only ever observe a
+  complete entry — last writer wins, and both writers wrote the same
+  verdict anyway;
+* a corrupt or truncated entry (killed process, disk full) deserializes
+  badly, is counted, deleted, and treated as a miss — never an error;
+* every I/O failure degrades to "cache disabled for that entry":
+  verification must work on a read-only filesystem.
+
+Only conclusive verdicts are stored; UNKNOWN depends on the wall-clock
+budget of the run that produced it, so persisting it would be wrong for
+longer-budget runs (the memory tier enforces the same rule).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from .cache import _FORMAT_VERSION as _FINGERPRINT_FORMAT
+
+#: default location, relative to the working directory; the CLI lets
+#: ``--cache-dir`` / ``REPRO_CACHE_DIR`` override it
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_MAGIC = "repro-smt-verdict"
+
+
+class DiskCache:
+    """A directory of pickled (verdict, model-snapshot) entries."""
+
+    #: bump when the entry payload layout changes
+    ENTRY_FORMAT = 1
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.dir = self.root / self._version_tag()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: unreadable/corrupt entries dropped, plus failed writes
+        self.errors = 0
+
+    @classmethod
+    def _version_tag(cls) -> str:
+        return f"v{_FINGERPRINT_FORMAT}-{cls.ENTRY_FORMAT}"
+
+    def _path(self, digest: bytes) -> Path:
+        hexdigest = digest.hex()
+        return self.dir / hexdigest[:2] / hexdigest
+
+    def __len__(self) -> int:
+        if not self.dir.is_dir():
+            return 0
+        return sum(
+            1
+            for shard in self.dir.iterdir()
+            if shard.is_dir()
+            for entry in shard.iterdir()
+            if not entry.name.startswith(".")
+        )
+
+    # ------------------------------------------------------------------
+
+    def load(self, digest: bytes):
+        """The stored ``(verdict_value, model_snapshot)``, or None."""
+        path = self._path(digest)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            magic, fmt, entry_fmt, stored_digest, verdict, snapshot = (
+                pickle.loads(payload)
+            )
+            if (
+                magic != _MAGIC
+                or fmt != _FINGERPRINT_FORMAT
+                or entry_fmt != self.ENTRY_FORMAT
+                or stored_digest != digest
+            ):
+                raise ValueError("entry does not match this cache format")
+        except Exception:
+            self.errors += 1
+            self.invalidate(digest)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return verdict, snapshot
+
+    def store(self, digest: bytes, verdict_value: str, snapshot) -> None:
+        """Atomically publish one entry (best-effort; failures are silent)."""
+        path = self._path(digest)
+        payload = pickle.dumps(
+            (
+                _MAGIC,
+                _FINGERPRINT_FORMAT,
+                self.ENTRY_FORMAT,
+                digest,
+                verdict_value,
+                snapshot,
+            )
+        )
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".part"
+            )
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
+            os.replace(tmp_name, path)
+            tmp_name = None
+            self.stores += 1
+        except OSError:
+            self.errors += 1
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+
+    def invalidate(self, digest: bytes) -> None:
+        try:
+            self._path(digest).unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Drop every entry of the current format version."""
+        if not self.dir.is_dir():
+            return
+        for shard in list(self.dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in list(shard.iterdir()):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass

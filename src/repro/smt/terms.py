@@ -14,6 +14,7 @@ normalising comparisons to ``<=`` and ``=``).
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from typing import Iterable, Sequence
 
 from .sorts import BOOL, INT, Sort
@@ -136,6 +137,40 @@ _fresh_counter = itertools.count()
 def fresh_var(prefix: str, sort: Sort) -> Term:
     """A variable guaranteed not to collide with any other name."""
     return mk_var(f"{prefix}!{next(_fresh_counter)}", sort)
+
+
+@contextmanager
+def scoped_intern_state():
+    """Run a block against a pristine term-interning state.
+
+    Term normalization orients arguments by interning order (``_id``)
+    and ``fresh_var`` draws from a process-global counter, so the exact
+    terms built for a verification query depend on everything interned
+    before it.  Verifying each method inside its own scope makes the
+    query stream a deterministic function of that method alone: the
+    same terms, fresh names, models, and cache fingerprints regardless
+    of which methods were verified earlier or in which process.  That
+    is what lets serial and parallel verification produce byte-identical
+    warnings and lets disk-cache entries written by one partition be
+    hit by any other.
+
+    Terms created inside the scope must not be compared against terms
+    from outside it (pointer interning does not span the boundary);
+    ``TRUE``/``FALSE`` are re-seeded so module-level identity checks
+    keep working.  The previous state is restored on exit, so terms
+    held by the caller stay valid.
+    """
+    global _fresh_counter
+    saved = (Term._interned, Term._counter, _fresh_counter)
+    Term._interned = {
+        (t.kind, t.args, t.payload, t.sort): t for t in (TRUE, FALSE)
+    }
+    Term._counter = itertools.count(max(TRUE._id, FALSE._id) + 1)
+    _fresh_counter = itertools.count()
+    try:
+        yield
+    finally:
+        Term._interned, Term._counter, _fresh_counter = saved
 
 
 def mk_app(sym: FunSym, args: Sequence[Term] = ()) -> Term:

@@ -1,6 +1,13 @@
 """Static verification of exhaustiveness, redundancy, totality, and
 disjointness (Sections 4-6 of the paper)."""
 
-from .verifier import VerificationReport, Verifier
+from .parallel import verify_parallel
+from .verifier import VerificationReport, Verifier, VerifyTask, iter_tasks
 
-__all__ = ["VerificationReport", "Verifier"]
+__all__ = [
+    "VerificationReport",
+    "Verifier",
+    "VerifyTask",
+    "iter_tasks",
+    "verify_parallel",
+]

@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..errors import Diagnostics, WarningKind
 from ..lang import ast
@@ -30,6 +31,7 @@ from ..metrics.solver_stats import VerifyStats
 from ..modes.mode import RESULT
 from ..modes.ordering import declared_vars
 from ..smt.cache import GLOBAL_CACHE, SolverCache
+from ..smt.terms import scoped_intern_state
 from . import fir
 from .disjointness import DisjointnessChecker
 from .exhaustiveness import ExhaustivenessChecker
@@ -38,6 +40,40 @@ from .fir import F
 from .solving import SolverSession
 from .totality import TotalityChecker
 from .translate import EncodeContext, TranslationError, Translator, VEnv
+
+
+@dataclass(frozen=True)
+class VerifyTask:
+    """One independent unit of verification work.
+
+    The paper verifies "one method at a time" (Section 7), which makes
+    each method — and each type's invariant set — a self-contained
+    obligation.  A task names one such obligation; it is cheap,
+    hashable, and picklable, so the parallel engine can ship it to a
+    worker process that holds its own copy of the program table.
+    """
+
+    kind: str  #: "invariants" | "method" | "function"
+    type_name: str = ""
+    method_name: str = ""
+
+
+def iter_tasks(table: ProgramTable) -> Iterator[VerifyTask]:
+    """All verification tasks of a program, in serial (source) order.
+
+    The order matches :meth:`Verifier.run`'s traversal exactly, so
+    concatenating per-task warnings in task order reproduces the serial
+    warning stream byte for byte.
+    """
+    for name, info in table.types.items():
+        if info.decl is None:
+            continue
+        if info.invariants:
+            yield VerifyTask("invariants", type_name=name)
+        for method_name in info.methods:
+            yield VerifyTask("method", type_name=name, method_name=method_name)
+    for function_name in table.functions:
+        yield VerifyTask("function", method_name=function_name)
 
 
 @dataclass
@@ -78,24 +114,8 @@ class Verifier:
 
     def run(self) -> VerificationReport:
         start = time.perf_counter()
-        for info in self.table.types.values():
-            if info.decl is None:
-                continue
-            for inv in info.invariants:
-                self.session.method_label = f"invariant of {info.name}"
-                self.disjointness.check_formula(
-                    inv.formula,
-                    info.name,
-                    {"this": ast.Type(info.name)},
-                    inv.span,
-                    f"invariant of {info.name}",
-                )
-            for method in info.methods.values():
-                self._verify_method(method)
-        for name in self.table.functions:
-            method = self.table.lookup_function(name)
-            assert method is not None
-            self._verify_method(method)
+        for task in iter_tasks(self.table):
+            self.run_task(task)
         return VerificationReport(
             self.diag,
             seconds=time.perf_counter() - start,
@@ -103,6 +123,37 @@ class Verifier:
             statements_checked=self.statements_checked,
             solver_stats=self.session.stats,
         )
+
+    def run_task(self, task: VerifyTask) -> None:
+        """Verify one task's obligations, appending to ``self.diag``.
+
+        Each task runs inside a pristine term-interning scope, so the
+        warnings, models, and cache fingerprints it produces are a
+        deterministic function of the task alone — identical whether
+        the task runs in this process after a hundred others or alone
+        in a parallel worker.
+        """
+        with scoped_intern_state():
+            if task.kind == "invariants":
+                info = self.table.types[task.type_name]
+                for inv in info.invariants:
+                    self.session.method_label = f"invariant of {info.name}"
+                    self.disjointness.check_formula(
+                        inv.formula,
+                        info.name,
+                        {"this": ast.Type(info.name)},
+                        inv.span,
+                        f"invariant of {info.name}",
+                    )
+            elif task.kind == "method":
+                info = self.table.types[task.type_name]
+                self._verify_method(info.methods[task.method_name])
+            elif task.kind == "function":
+                method = self.table.lookup_function(task.method_name)
+                assert method is not None
+                self._verify_method(method)
+            else:
+                raise ValueError(f"unknown task kind {task.kind!r}")
 
     # ------------------------------------------------------------------
 

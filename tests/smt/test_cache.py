@@ -205,3 +205,40 @@ def test_instance_time_budget_does_not_touch_class_default():
     s.check()
     assert Solver.TIME_BUDGET == 8.0
     assert s.time_budget == 0.5
+
+
+def test_cache_is_thread_safe_under_concurrent_solvers():
+    """Many threads sharing one cache: no lost updates, no corruption.
+
+    A small ``max_entries`` keeps the LRU evicting while threads race
+    lookups against stores; the counters must balance exactly (every
+    lookup is either a hit or a miss) and every thread must see the
+    same verdicts a serial run sees.
+    """
+    import threading
+
+    cache = SolverCache(max_entries=8)
+    problems = []
+
+    def worker(seed):
+        try:
+            for i in range(40):
+                offset = (seed * 7 + i) % 12
+                x = ivar(f"cache_mt_{offset}")
+                s = Solver(cache=cache)
+                s.add(mk_ge(x, mk_int(offset)))
+                s.add(mk_le(x, mk_int(offset + 1)))
+                if s.check() != Result.SAT:
+                    problems.append(f"wrong verdict for offset {offset}")
+        except Exception as exc:  # noqa: BLE001 - surfacing to the test
+            problems.append(repr(exc))
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not problems, problems
+    assert cache.hits + cache.misses == 8 * 40
+    assert cache.stores == cache.misses
+    assert len(cache) <= 8

@@ -24,10 +24,16 @@ static int f(Nat n) {
 """
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    """Keep CLI runs from writing .repro-cache into the repo root."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
 @pytest.fixture
 def program(tmp_path):
-    def write(source):
-        path = tmp_path / "program.jm"
+    def write(source, name="program.jm"):
+        path = tmp_path / name
         path.write_text(source)
         return str(path)
 
@@ -75,10 +81,80 @@ def test_verify_budget_does_not_leak_globally(program, capsys):
     from repro.smt.solver import Solver
 
     before = Solver.TIME_BUDGET
-    assert main(["verify", program(BUGGY), "--budget", "0.0", "--no-cache"]) == 0
+    assert main(["verify", program(BUGGY), "--budget", "1e-9", "--no-cache"]) == 0
     assert Solver.TIME_BUDGET == before
     out = capsys.readouterr().out
     assert "inconclusive" in out
+
+
+def test_verify_rejects_nonpositive_budget(program, capsys):
+    for bad in ("0", "0.0", "-1.5"):
+        assert main(["verify", program(CLEAN), "--budget", bad]) == 2
+        assert "--budget must be positive" in capsys.readouterr().err
+
+
+def test_verify_rejects_nonpositive_jobs(program, capsys):
+    assert main(["verify", program(CLEAN), "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_verify_multiple_files(program, capsys):
+    clean = program(CLEAN, "clean.jm")
+    buggy = program(BUGGY, "buggy.jm")
+    assert main(["verify", clean, buggy]) == 0
+    out = capsys.readouterr().out
+    # Per-file headers, each file's own summary line, in argument order.
+    assert out.index(f"{clean}:") < out.index(f"{buggy}:")
+    assert out.count("warnings") >= 2
+    assert "nonexhaustive" in out
+
+
+def test_verify_multiple_files_aggregates_exit_status(program, capsys):
+    broken = program("class {", "broken.jm")
+    clean = program(CLEAN, "clean.jm")
+    assert main(["verify", broken, clean]) == 1
+    captured = capsys.readouterr()
+    assert "error" in captured.err
+    # The clean file is still verified after the broken one fails.
+    assert "0 warnings" in captured.out
+
+
+def test_verify_jobs_output_matches_serial(program, capsys):
+    path = program(BUGGY)
+    strip = lambda text: [
+        l for l in text.splitlines() if not l.startswith("checked ")
+    ]
+    assert main(["verify", path]) == 0
+    serial = capsys.readouterr().out
+    assert main(["verify", path, "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert strip(serial) == strip(parallel)
+
+
+def test_verify_cache_dir_flag_warms_across_runs(program, capsys, tmp_path):
+    path = program(BUGGY)
+    cache_dir = str(tmp_path / "verdicts")
+    assert main(["verify", path, "--cache-dir", cache_dir]) == 0
+    first = capsys.readouterr().out
+    assert main(["verify", path, "--cache-dir", cache_dir]) == 0
+    second = capsys.readouterr().out
+    strip = lambda text: [
+        l for l in text.splitlines() if not l.startswith("checked ")
+    ]
+    assert strip(first) == strip(second)
+    import os
+
+    assert os.path.isdir(cache_dir)
+
+
+def test_verify_no_cache_leaves_no_cache_dir(program, tmp_path, capsys):
+    import os
+
+    cache_dir = str(tmp_path / "never-created")
+    path = program(CLEAN)
+    assert main(["verify", path, "--no-cache", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert not os.path.exists(cache_dir)
 
 
 def test_run_function(program, capsys):
