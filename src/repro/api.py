@@ -37,8 +37,9 @@ def verify(
     unit: CompiledUnit,
     budget: float | None = None,
     cache: SolverCache | None = GLOBAL_CACHE,
-    jobs: int = 1,
+    jobs: int | str = 1,
     cache_dir: str | None = None,
+    incremental: bool = True,
 ) -> VerificationReport:
     """Run the full static verification pass (Sections 5-6).
 
@@ -62,8 +63,26 @@ def verify(
     caller-supplied private cache gets the disk tier attached.
     ``cache=None`` disables both tiers; parallel workers cannot share a
     caller's in-memory cache object, only the disk tier.
+
+    ``jobs`` may also be ``"auto"``, which picks a worker count from
+    ``os.cpu_count()`` and the task count -- staying serial on
+    single-CPU machines or tiny programs, where pool overhead would
+    make verification slower.
+
+    ``incremental`` selects the solver engine: the default keeps one
+    persistent incremental solver per encoding context (shared Tseitin
+    encoding, axioms, theory lemmas, learned clauses, and undoable
+    congruence-closure state across a statement's query chain and
+    across iterative-deepening depths); ``False`` rebuilds the solver
+    from scratch per query and per deepening depth, which is the
+    reference engine the differential test-suite compares against.
     """
     use_cache = cache is not None
+    if jobs == "auto":
+        from .verify.parallel import resolve_jobs
+        from .verify.verifier import iter_tasks
+
+        jobs = resolve_jobs("auto", sum(1 for _ in iter_tasks(unit.table)))
     if jobs != 1:
         from .verify.parallel import verify_parallel
 
@@ -73,6 +92,7 @@ def verify(
             budget=budget,
             use_cache=use_cache,
             cache_dir=cache_dir if use_cache else None,
+            incremental=incremental,
         )
     if use_cache and cache_dir is not None:
         from .smt.diskcache import DiskCache
@@ -81,7 +101,9 @@ def verify(
             cache = SolverCache(disk=DiskCache(cache_dir))
         elif cache.disk is None:
             cache.disk = DiskCache(cache_dir)
-    return Verifier(unit.table, budget=budget, cache=cache).run()
+    return Verifier(
+        unit.table, budget=budget, cache=cache, incremental=incremental
+    ).run()
 
 
 def interpreter(unit: CompiledUnit) -> Interpreter:

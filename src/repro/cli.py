@@ -47,9 +47,20 @@ def cmd_verify(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.jobs < 1:
-        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
-        return 2
+    jobs: int | str = args.jobs
+    if jobs != "auto":
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            print(
+                f"error: --jobs must be a positive integer or 'auto', "
+                f"got {args.jobs!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if jobs < 1:
+            print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+            return 2
     from .smt.cache import GLOBAL_CACHE
 
     cache = None if args.no_cache else GLOBAL_CACHE
@@ -69,7 +80,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             unit,
             budget=args.budget,
             cache=cache,
-            jobs=args.jobs,
+            jobs=jobs,
             cache_dir=cache_dir,
         )
         for warning in report.diagnostics.warnings:
@@ -81,6 +92,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         )
         if args.stats and report.solver_stats is not None:
             print(report.solver_stats.format_table())
+        if args.profile and report.solver_stats is not None:
+            print(report.solver_stats.format_profile())
     return status
 
 
@@ -142,8 +155,9 @@ def main(argv: list[str] | None = None) -> int:
         help="per-query SMT time budget in seconds (must be positive)",
     )
     p_verify.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="verify methods on N worker processes (default: 1, serial)",
+        "--jobs", default="1", metavar="N",
+        help="verify methods on N worker processes, or 'auto' to size the "
+        "pool from the CPU count and task count (default: 1, serial)",
     )
     p_verify.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -153,6 +167,11 @@ def main(argv: list[str] | None = None) -> int:
     p_verify.add_argument(
         "--stats", action="store_true",
         help="print per-method solver statistics and cache hit rate",
+    )
+    p_verify.add_argument(
+        "--profile", action="store_true",
+        help="print per-method solver phase timers (encode / SAT / "
+        "expand / theory / validate)",
     )
     p_verify.add_argument(
         "--no-cache", action="store_true",

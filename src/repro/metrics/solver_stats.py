@@ -28,6 +28,12 @@ class QueryStats:
     deepening_passes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    # phase timers (seconds); see SolverStats in repro.smt.solver
+    encode_s: float = 0.0
+    sat_s: float = 0.0
+    expand_s: float = 0.0
+    theory_s: float = 0.0
+    validate_s: float = 0.0
 
     def add_query(self, verdict: str, seconds: float, solver_stats) -> None:
         """Fold in one query's verdict, wall time, and SolverStats."""
@@ -45,6 +51,10 @@ class QueryStats:
         self.deepening_passes += solver_stats.deepening_passes
         self.cache_hits += solver_stats.cache_hits
         self.cache_misses += solver_stats.cache_misses
+        for phase in ("encode_s", "sat_s", "expand_s", "theory_s", "validate_s"):
+            setattr(
+                self, phase, getattr(self, phase) + getattr(solver_stats, phase, 0.0)
+            )
 
     @property
     def cache_hit_rate(self) -> float:
@@ -64,6 +74,11 @@ class QueryStats:
         self.deepening_passes += other.deepening_passes
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.encode_s += other.encode_s
+        self.sat_s += other.sat_s
+        self.expand_s += other.expand_s
+        self.theory_s += other.theory_s
+        self.validate_s += other.validate_s
 
 
 @dataclass
@@ -123,5 +138,36 @@ class VerifyStats:
         lines.append(
             f"cache hit rate: {t.cache_hit_rate:.1%} "
             f"({t.cache_hits}/{t.cache_hits + t.cache_misses})"
+        )
+        return "\n".join(lines)
+
+    def format_profile(self) -> str:
+        """The ``--profile`` table: per-method solver phase timers."""
+        header = (
+            f"{'method':<40}{'time(s)':>9}{'encode':>9}{'sat':>9}"
+            f"{'expand':>9}{'theory':>9}{'validate':>9}"
+        )
+        lines = [header, "-" * len(header)]
+
+        def row(label: str, stats: QueryStats) -> str:
+            return (
+                f"{label:<40}{stats.seconds:>9.3f}{stats.encode_s:>9.3f}"
+                f"{stats.sat_s:>9.3f}{stats.expand_s:>9.3f}"
+                f"{stats.theory_s:>9.3f}{stats.validate_s:>9.3f}"
+            )
+
+        for name in sorted(self.per_method):
+            stats = self.per_method[name]
+            label = name if len(name) <= 39 else name[:36] + "..."
+            lines.append(row(label, stats))
+        lines.append("-" * len(header))
+        lines.append(row("total", self.total))
+        solver_time = (
+            self.total.encode_s + self.total.sat_s + self.total.expand_s
+            + self.total.theory_s + self.total.validate_s
+        )
+        lines.append(
+            f"solver phases cover {solver_time:.3f}s of "
+            f"{self.total.seconds:.3f}s query wall time"
         )
         return "\n".join(lines)

@@ -52,6 +52,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Iterable, Sequence
 
 from . import terms as tm
+from .cnf import is_atom
 from .sorts import BOOL, INT, OBJ, Sort
 from .terms import FunSym, Term
 from .theory import TheoryModel
@@ -59,7 +60,7 @@ from .theory import TheoryModel
 _SORT_BY_NAME = {"Bool": BOOL, "Int": INT, "Obj": OBJ}
 
 #: bump when the serialization format changes
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def _sort_named(name: str) -> Sort:
@@ -211,14 +212,179 @@ class _Canonicalizer:
         return term
 
 
+# ---------------------------------------------------------------------------
+# Per-term structural fingerprints
+# ---------------------------------------------------------------------------
+#
+# Each interned term carries (in its ``_fp`` slot) a Merkle-style
+# digest of its structure with variables alpha-renamed in
+# first-occurrence order, plus the tuples needed to compose digests
+# upward without re-walking the DAG:
+#
+#   (digest, vars, atoms, syms)
+#
+# * ``digest`` -- sha256 over the term's kind/payload, its children's
+#   digests, and for each child the mapping of the child's variable
+#   slots into this term's first-occurrence order (the de Bruijn-style
+#   twist that makes the digest alpha-invariant);
+# * ``vars`` -- the term's free variables in first-occurrence order;
+# * ``atoms`` -- its theory atoms (for trigger-signature membership);
+# * ``syms`` -- its uninterpreted function symbols (so model decoding
+#   can rebuild the symbol table without walking the assertions).
+#
+# Because terms are interned, the walk happens once per distinct term
+# per process; every later query containing the term composes the
+# cached digest in O(vars) -- this is what removes fingerprinting from
+# the hot path (the cold cached run used to be slower than --no-cache).
+
+
+def _compute_fp(term: Term) -> tuple:
+    kind = term.kind
+    if kind == tm.VAR:
+        digest = hashlib.sha256(
+            b"v\x00" + term.sort.name.encode("utf-8")
+        ).digest()
+        atoms = (term,) if term.is_bool else ()
+        return (digest, (term,), atoms, ())
+    if kind in (tm.INT_CONST, tm.BOOL_CONST):
+        digest = hashlib.sha256(
+            f"c\x00{kind}\x00{term.payload!r}".encode("utf-8")
+        ).digest()
+        return (digest, (), (), ())
+    if kind == tm.APP:
+        sym: FunSym = term.payload
+        head = (
+            f"a\x00{sym.name}\x00{','.join(s.name for s in sym.arg_sorts)}"
+            f"\x00{sym.result_sort.name}"
+        ).encode("utf-8")
+        syms: list[FunSym] = [sym]
+    else:
+        head = f"k\x00{kind}".encode("utf-8")
+        syms = []
+    hasher = hashlib.sha256(head)
+    var_index: dict[Term, int] = {}
+    variables: list[Term] = []
+    atom_list: list[Term] = []
+    for arg in term.args:
+        arg_digest, arg_vars, arg_atoms, arg_syms = arg._fp
+        hasher.update(arg_digest)
+        for v in arg_vars:
+            slot = var_index.get(v)
+            if slot is None:
+                slot = var_index[v] = len(variables)
+                variables.append(v)
+            hasher.update(b"%d," % slot)
+        hasher.update(b";")
+        atom_list.extend(arg_atoms)
+        syms.extend(arg_syms)
+    atoms = list(dict.fromkeys(atom_list))
+    if is_atom(term):
+        atoms.append(term)
+    return (
+        hasher.digest(),
+        tuple(variables),
+        tuple(atoms),
+        tuple(dict.fromkeys(syms)),
+    )
+
+
+def term_fp(term: Term) -> tuple:
+    """The cached ``(digest, vars, atoms, syms)`` fingerprint of a term."""
+    fp = term._fp
+    if fp is not None:
+        return fp
+    # Iterative post-order so deep formulas cannot blow the stack.
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        t, expanded = stack.pop()
+        if t._fp is not None:
+            continue
+        if not expanded:
+            stack.append((t, True))
+            for arg in t.args:
+                if arg._fp is None:
+                    stack.append((arg, False))
+            continue
+        t._fp = _compute_fp(t)
+    return term._fp
+
+
+def term_atoms(term: Term) -> tuple[Term, ...]:
+    """The theory atoms occurring in ``term`` (cached on the term).
+
+    Computed by the same composition rule as the fingerprint's atom
+    component (children's atoms in argument order, deduplicated, plus
+    the term itself when it is an atom) but *without* the sha256
+    digests: the incremental engine asks for atoms on every check even
+    when no query cache is configured, and hashing an entire assertion
+    DAG just to read its atoms dominated that path.
+    """
+    cached = term._atoms
+    if cached is not None:
+        return cached
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        t, expanded = stack.pop()
+        if t._atoms is not None:
+            continue
+        if t._fp is not None:
+            t._atoms = t._fp[2]
+            continue
+        if not expanded:
+            stack.append((t, True))
+            for arg in t.args:
+                if arg._atoms is None and arg._fp is None:
+                    stack.append((arg, False))
+            continue
+        kind = t.kind
+        if kind == tm.VAR:
+            t._atoms = (t,) if t.is_bool else ()
+        elif kind in (tm.INT_CONST, tm.BOOL_CONST):
+            t._atoms = ()
+        else:
+            merged: list[Term] = []
+            for arg in t.args:
+                merged.extend(arg._atoms if arg._fp is None else arg._fp[2])
+            out = list(dict.fromkeys(merged))
+            if is_atom(t):
+                out.append(t)
+            t._atoms = tuple(out)
+    return term._atoms
+
+
 class Fingerprint:
-    """The cache key for one ``check()`` call plus its decode tables."""
+    """The cache key for one ``check()`` call plus its decode tables.
 
-    __slots__ = ("digest", "canon")
+    The canonicalizer (variable/function-symbol translation tables used
+    to encode and decode model snapshots) is built lazily from the
+    per-term fingerprint tuples: most lookups miss and most stores
+    carry no model, and neither needs it.
+    """
 
-    def __init__(self, digest: bytes, canon: _Canonicalizer):
+    __slots__ = ("digest", "_vars", "_syms", "_canon")
+
+    def __init__(
+        self,
+        digest: bytes,
+        variables: Sequence[Term] = (),
+        syms: Sequence[FunSym] = (),
+    ):
         self.digest = digest
-        self.canon = canon
+        self._vars = variables
+        self._syms = syms
+        self._canon: _Canonicalizer | None = None
+
+    @property
+    def canon(self) -> _Canonicalizer:
+        if self._canon is None:
+            canon = _Canonicalizer()
+            for v in self._vars:
+                canon._var_node(v)
+            for sym in self._syms:
+                canon._funsym_key(sym)
+            canon.freeze_digest()
+            self._canon = canon
+        return self._canon
 
 
 def fingerprint_query(
@@ -227,31 +393,46 @@ def fingerprint_query(
     depth_schedule: Iterable[int],
 ) -> Fingerprint:
     """Fingerprint an assertion set under a plugin's trigger signature."""
-    canon = _Canonicalizer()
     parts: list[Any] = [_FORMAT_VERSION, tuple(depth_schedule)]
     if plugin is not None and plugin.signature is not None:
         parts.append(("S", repr(plugin.signature)))
+    var_index: dict[Term, int] = {}
+    variables: list[Term] = []
+    syms: dict[FunSym, None] = {}
+    atoms_present: set[Term] = set()
     for assertion in assertions:
-        parts.append(("A", canon.encode(assertion)))
+        digest, term_vars, term_atoms_, term_syms = term_fp(assertion)
+        slots = []
+        for v in term_vars:
+            slot = var_index.get(v)
+            if slot is None:
+                slot = var_index[v] = len(variables)
+                variables.append(v)
+            slots.append(slot)
+        parts.append(("A", digest, tuple(slots)))
+        atoms_present.update(term_atoms_)
+        for sym in term_syms:
+            syms[sym] = None
     if plugin is not None and plugin.has_triggers():
-        atoms: set[Term] = set()
-        for assertion in assertions:
-            atoms.update(tm.subterms(assertion))
         for atom, polarity, depth, weak, callback in plugin.registrations():
-            if atom in atoms:
+            if atom in atoms_present:
+                digest, atom_vars, _, atom_syms = term_fp(atom)
+                slots = tuple(var_index[v] for v in atom_vars)
                 parts.append(
                     (
                         "T",
-                        canon.encode(atom),
+                        digest,
+                        slots,
                         polarity,
                         depth,
                         weak,
                         _callback_site(callback),
                     )
                 )
-    canon.freeze_digest()
+                for sym in atom_syms:
+                    syms[sym] = None
     digest = hashlib.sha256(repr(parts).encode("utf-8")).digest()
-    return Fingerprint(digest, canon)
+    return Fingerprint(digest, tuple(variables), tuple(syms))
 
 
 # ---------------------------------------------------------------------------
@@ -376,6 +557,14 @@ class SolverCache:
             raise ValueError("UNKNOWN verdicts must never be cached")
         snapshot = None if model is None else _encode_model(model, fp.canon)
         with self._lock:
+            if snapshot is None:
+                existing = self._entries.get(fp.digest)
+                if existing is not None and existing[1] is not None:
+                    # Never displace a model-carrying entry with a
+                    # verdict-only one (shared engines store verdicts
+                    # alone; the canonical model is the better entry).
+                    self._entries.move_to_end(fp.digest)
+                    return
             self._entries[fp.digest] = (verdict, snapshot)
             self._entries.move_to_end(fp.digest)
             self.stores += 1

@@ -37,6 +37,16 @@ class CnfBuilder:
     atom_of_var: dict[int, Term] = field(default_factory=dict)
     var_of_term: dict[Term, int] = field(default_factory=dict)
     _next_var: int = 1
+    #: structural clause dedup: sorted-literal keys of emitted clauses
+    _emitted: set[Clause] = field(default_factory=set)
+
+    def _emit(self, lits: Clause) -> None:
+        """Append a clause unless an identical one was emitted before."""
+        key = tuple(sorted(lits))
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.clauses.append(lits)
 
     def new_var(self) -> int:
         var = self._next_var
@@ -70,7 +80,7 @@ class CnfBuilder:
     def _const_var(self) -> int:
         if self._const_var_cache is None:
             self._const_var_cache = self.new_var()
-            self.clauses.append((self._const_var_cache,))
+            self._emit((self._const_var_cache,))
         return self._const_var_cache
 
     def _define(self, var: int, t: Term) -> None:
@@ -78,65 +88,80 @@ class CnfBuilder:
         if t.kind == tm.AND:
             arg_lits = [self.lit_for(a) for a in t.args]
             for lit in arg_lits:
-                self.clauses.append((-var, lit))
-            self.clauses.append(tuple([var] + [-lit for lit in arg_lits]))
+                self._emit((-var, lit))
+            self._emit(tuple([var] + [-lit for lit in arg_lits]))
         elif t.kind == tm.OR:
             arg_lits = [self.lit_for(a) for a in t.args]
-            self.clauses.append(tuple([-var] + arg_lits))
+            self._emit(tuple([-var] + arg_lits))
             for lit in arg_lits:
-                self.clauses.append((var, -lit))
+                self._emit((var, -lit))
         elif t.kind == tm.IMPLIES:
             a = self.lit_for(t.args[0])
             b = self.lit_for(t.args[1])
-            self.clauses.append((-var, -a, b))
-            self.clauses.append((var, a))
-            self.clauses.append((var, -b))
+            self._emit((-var, -a, b))
+            self._emit((var, a))
+            self._emit((var, -b))
         elif t.kind == tm.IFF:
             a = self.lit_for(t.args[0])
             b = self.lit_for(t.args[1])
-            self.clauses.append((-var, -a, b))
-            self.clauses.append((-var, a, -b))
-            self.clauses.append((var, a, b))
-            self.clauses.append((var, -a, -b))
+            self._emit((-var, -a, b))
+            self._emit((-var, a, -b))
+            self._emit((var, a, b))
+            self._emit((var, -a, -b))
         elif t.kind == tm.ITE:
             c = self.lit_for(t.args[0])
             th = self.lit_for(t.args[1])
             el = self.lit_for(t.args[2])
-            self.clauses.append((-var, -c, th))
-            self.clauses.append((-var, c, el))
-            self.clauses.append((var, -c, -th))
-            self.clauses.append((var, c, -el))
+            self._emit((-var, -c, th))
+            self._emit((-var, c, el))
+            self._emit((var, -c, -th))
+            self._emit((var, c, -el))
         else:
             raise AssertionError(f"not a boolean connective: {t.kind}")
 
-    def assert_term(self, t: Term) -> None:
-        """Assert that boolean term ``t`` holds."""
+    def assert_term(self, t: Term, guard: Lit | None = None) -> None:
+        """Assert that boolean term ``t`` holds.
+
+        With ``guard``, the assertion is only active while the guard
+        literal is true: every emitted clause is prefixed with
+        ``-guard``, so assuming the guard activates the group and a
+        permanent ``(-guard)`` unit retires it.  Tseitin definitions
+        introduced along the way stay unguarded -- they are equivalences
+        and hold regardless of which assertion groups are active.
+        """
         if t is tm.TRUE:
             return
+        prefix: Clause = () if guard is None else (-guard,)
         if t is tm.FALSE:
-            self.clauses.append(())
+            self._emit(prefix)
             return
         if t.kind == tm.AND:
             for a in t.args:
-                self.assert_term(a)
+                self.assert_term(a, guard)
             return
         if t.kind == tm.OR:
-            self.clauses.append(tuple(self.lit_for(a) for a in t.args))
+            self._emit(prefix + tuple(self.lit_for(a) for a in t.args))
             return
         if t.kind == tm.IMPLIES:
-            self.clauses.append(
-                (-self.lit_for(t.args[0]), self.lit_for(t.args[1]))
+            self._emit(
+                prefix + (-self.lit_for(t.args[0]), self.lit_for(t.args[1]))
             )
             return
-        self.clauses.append((self.lit_for(t),))
+        self._emit(prefix + (self.lit_for(t),))
 
-    def assert_clause_terms(self, lits: list[Term]) -> None:
+    def assert_clause_terms(
+        self, lits: list[Term], guard: Lit | None = None
+    ) -> None:
         """Assert a disjunction of boolean terms as a single clause."""
-        clause = []
+        clause = [] if guard is None else [-guard]
         for t in lits:
             if t is tm.TRUE:
                 return
             if t is tm.FALSE:
                 continue
             clause.append(self.lit_for(t))
-        self.clauses.append(tuple(clause))
+        self._emit(tuple(clause))
+
+    def add_clause_lits(self, lits: Clause) -> None:
+        """Emit a raw clause of SAT literals (e.g. a guard retirement)."""
+        self._emit(tuple(lits))

@@ -7,9 +7,15 @@ the paper).  Boolean predicate atoms are handled by equating them with
 the distinguished ``TRUE``/``FALSE`` terms.
 
 The implementation is the classic union-find + signature-table
-congruence closure.  It is rebuilt per theory check (checks are small);
-conflict sets are produced by deletion-based minimisation in
-:mod:`repro.smt.theory`.
+congruence closure.  A plain instance is rebuilt per theory check
+(checks are small); conflict sets are produced by deletion-based
+minimisation in :mod:`repro.smt.theory`.  An instance constructed with
+``undoable=True`` additionally records every state mutation on a
+trail, so a persistent owner (the incremental engine's
+:class:`~repro.smt.theory.TheoryContext`) can roll the closure back to
+a marked point instead of rebuilding it -- consecutive queries in a
+verification chain share most of their literals, and re-running the
+closure over the shared prefix was the single largest redundant cost.
 """
 
 from __future__ import annotations
@@ -19,15 +25,20 @@ from .terms import Term
 
 
 class EufSolver:
-    """A (non-incremental) congruence closure engine.
+    """A congruence closure engine, optionally undoable.
 
     Usage: construct, ``assert_eq``/``assert_ne`` any number of times,
     then call :meth:`check`.  After a successful check, :meth:`find`
     gives class representatives and :meth:`congruent` answers equality
     queries under the asserted constraints.
+
+    With ``undoable=True``, :meth:`mark` snapshots the current state
+    and :meth:`undo_to` restores it.  Path compression is kept -- the
+    trail records every parent rewrite, compressions included, so
+    rollback is exact.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, undoable: bool = False) -> None:
         self._parent: dict[Term, Term] = {}
         self._rank: dict[Term, int] = {}
         #: class representative -> parent applications mentioning the class
@@ -36,6 +47,46 @@ class EufSolver:
         self._pending: list[tuple[Term, Term]] = []
         self._diseqs: list[tuple[Term, Term]] = []
         self._registered: set[Term] = set()
+        #: mutation log for rollback; None on plain (rebuilt) instances,
+        #: which then pay only a predicate test per mutation
+        self._trail: list[tuple] | None = [] if undoable else None
+
+    # -- undo -----------------------------------------------------------------
+
+    def mark(self) -> tuple[int, int]:
+        """Snapshot the state; pass the result to :meth:`undo_to`."""
+        assert self._trail is not None, "constructed without undoable=True"
+        return (len(self._trail), len(self._diseqs))
+
+    def undo_to(self, mark: tuple[int, int]) -> None:
+        """Roll every mutation after ``mark`` back, newest first."""
+        trail = self._trail
+        assert trail is not None
+        trail_len, diseq_len = mark
+        while len(trail) > trail_len:
+            op = trail.pop()
+            tag = op[0]
+            if tag == "parent":
+                self._parent[op[1]] = op[2]
+            elif tag == "rank":
+                self._rank[op[1]] = op[2]
+            elif tag == "use":
+                self._uses[op[1]].pop()
+            elif tag == "moved":
+                _, ra, rb, count = op
+                uses = self._uses.setdefault(ra, [])
+                self._uses[rb] = uses[len(uses) - count :]
+                del uses[len(uses) - count :]
+            elif tag == "sig":
+                del self._sig[op[1]]
+            else:  # "reg"
+                t = op[1]
+                self._registered.discard(t)
+                del self._parent[t]
+                del self._rank[t]
+                del self._uses[t]
+        del self._diseqs[diseq_len:]
+        self._pending.clear()
 
     # -- union-find -----------------------------------------------------------
 
@@ -46,20 +97,31 @@ class EufSolver:
         self._parent[t] = t
         self._rank[t] = 0
         self._uses[t] = []
+        if self._trail is not None:
+            self._trail.append(("reg", t))
         for arg in t.args:
             self._register(arg)
         if t.kind == tm.APP and t.args:
             for arg in t.args:
-                self._uses[self.find(arg)].append(t)
+                root = self.find(arg)
+                self._uses[root].append(t)
+                if self._trail is not None:
+                    self._trail.append(("use", root))
             self._insert_sig(t)
 
     def find(self, t: Term) -> Term:
         self._register(t)
+        parent = self._parent
         root = t
-        while self._parent[root] is not root:
-            root = self._parent[root]
-        while self._parent[t] is not root:
-            self._parent[t], t = root, self._parent[t]
+        while parent[root] is not root:
+            root = parent[root]
+        if self._trail is None:
+            while parent[t] is not root:
+                parent[t], t = root, parent[t]
+        else:
+            while parent[t] is not root:
+                self._trail.append(("parent", t, parent[t]))
+                parent[t], t = root, parent[t]
         return root
 
     def _sig_of(self, t: Term) -> tuple:
@@ -70,6 +132,8 @@ class EufSolver:
         other = self._sig.get(sig)
         if other is None:
             self._sig[sig] = t
+            if self._trail is not None:
+                self._trail.append(("sig", sig))
         elif self.find(other) is not self.find(t):
             self._pending.append((other, t))
 
@@ -103,10 +167,17 @@ class EufSolver:
         if self._rank[ra] < self._rank[rb]:
             ra, rb = rb, ra
         elif self._rank[ra] == self._rank[rb]:
+            if self._trail is not None:
+                self._trail.append(("rank", ra, self._rank[ra]))
             self._rank[ra] += 1
+        if self._trail is not None:
+            self._trail.append(("parent", rb, self._parent[rb]))
         self._parent[rb] = ra
-        moved = self._uses.pop(rb, [])
+        moved = self._uses.get(rb, [])
+        self._uses[rb] = []
         self._uses.setdefault(ra, []).extend(moved)
+        if self._trail is not None and moved:
+            self._trail.append(("moved", ra, rb, len(moved)))
         for app in moved:
             self._insert_sig(app)
 

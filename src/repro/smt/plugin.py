@@ -56,6 +56,11 @@ class LazyTheoryPlugin:
     exhausted: bool = False
     #: the (atom, polarity) pairs whose expansion was suppressed
     suppressed: set[tuple[Term, bool]] = field(default_factory=set)
+    #: registry keys not yet fired this pass; expansion scans this
+    #: (usually tiny, eventually empty) set instead of the whole
+    #: assignment, which matters for persistent engines whose
+    #: assignments span a long query chain
+    _unfired: set[tuple[Term, bool]] = field(default_factory=set)
 
     def register(
         self,
@@ -69,6 +74,7 @@ class LazyTheoryPlugin:
         key = (atom, polarity)
         if key not in self._registry:
             self._registry[key] = _Registration(callback, depth, weak=weak)
+            self._unfired.add(key)
 
     def has_triggers(self) -> bool:
         return bool(self._registry)
@@ -87,11 +93,10 @@ class LazyTheoryPlugin:
 
     def pending(self, assignment: dict[Term, bool]) -> bool:
         """Would `expand` produce anything (or be depth-suppressed)?"""
-        for atom, value in assignment.items():
-            reg = self._registry.get((atom, value))
-            if reg is not None and not reg.fired:
-                return True
-        return False
+        return any(
+            assignment.get(atom) == value
+            for atom, value in self._unfired
+        )
 
     def expand(self, assignment: dict[Term, bool]) -> list[Term]:
         """Fire registrations triggered by the assignment.
@@ -101,22 +106,40 @@ class LazyTheoryPlugin:
         assertion discipline.  Registrations beyond the depth budget are
         suppressed and :attr:`exhausted` is set.
         """
+        unfired = self._unfired
+        if not unfired:
+            return []
+        matched = [
+            key for key in unfired if assignment.get(key[0]) == key[1]
+        ]
+        if not matched:
+            return []
+        if len(matched) > 1:
+            # Fire in assignment order, as the full scan used to: axiom
+            # order determines clause/variable numbering downstream.
+            member = set(matched)
+            matched = [
+                (atom, value)
+                for atom, value in assignment.items()
+                if (atom, value) in member
+            ]
         axioms: list[Term] = []
-        for atom, value in list(assignment.items()):
-            reg = self._registry.get((atom, value))
-            if reg is None or reg.fired:
-                continue
+        for key in matched:
+            reg = self._registry[key]
             if reg.depth > self.max_depth:
                 # Beyond the unrolling budget the theory "will not further
                 # expand facts" (Section 6.2): the atom stays
                 # unconstrained.  A model that relies on this polarity is
                 # unconfirmed -- the solver checks `relevant_suppression`
-                # before trusting SAT.
+                # before trusting SAT.  The key stays unfired, so deeper
+                # passes (which re-arm and raise the bound) retry it.
                 self.exhausted = True
                 if not reg.weak:
-                    self.suppressed.add((atom, value))
+                    self.suppressed.add(key)
                 continue
             reg.fired = True
+            unfired.discard(key)
+            atom, value = key
             premise = atom if value else tm.mk_not(atom)
             if reg.axiom is None:
                 reg.axiom = reg.callback()
@@ -142,3 +165,4 @@ class LazyTheoryPlugin:
         self.suppressed.clear()
         for reg in self._registry.values():
             reg.fired = False
+        self._unfired = set(self._registry)

@@ -9,12 +9,19 @@ standard modern architecture:
 * geometric restarts.
 
 The DPLL(T) driver interacts with it by adding clauses (original,
-theory lemmas, blocking clauses) at decision level 0 and re-solving, so
-no assumption interface is needed.  It is deliberately compact rather
-than fast; the verifier's queries are small.
+theory lemmas, blocking clauses) at decision level 0 and re-solving.
+``solve`` takes MiniSat-style *assumptions*: literals installed as the
+first decisions of the search, so a caller can activate guarded clause
+groups for one query and retract them for the next without discarding
+learned clauses.  When the formula is unsatisfiable only under the
+assumptions, :attr:`final_conflict` holds the failing assumption subset
+and the solver stays usable.  It is deliberately compact rather than
+fast; the verifier's queries are small.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from . import budget
 
@@ -50,7 +57,18 @@ class SatSolver:
         self._polarity: list[bool] = [False]
         self._var_inc = 1.0
         self._var_decay = 0.95
+        #: decision order: vars sorted by (activity desc, index asc),
+        #: rebuilt lazily after activity bumps (rare -- once per
+        #: conflict), with a cursor marking the scanned-and-assigned
+        #: prefix of the current search path
+        self._order: list[int] = []
+        self._order_dirty = False
+        self._cursor = 0
         self._ok = True
+        #: after a failed solve(assumptions): the subset of the
+        #: assumptions that is jointly unsatisfiable with the clauses
+        #: (empty when the clause set itself is unsatisfiable)
+        self.final_conflict: list[Lit] = []
 
     # -- variables and clauses ----------------------------------------------
 
@@ -62,6 +80,10 @@ class SatSolver:
             self._reason.append(None)
             self._activity.append(0.0)
             self._polarity.append(False)
+            # A new var has zero activity and the highest index, which
+            # is exactly last in (activity desc, index asc) order.
+            if not self._order_dirty:
+                self._order.append(self._num_vars)
 
     def new_var(self) -> int:
         self.ensure_vars(self._num_vars + 1)
@@ -184,6 +206,7 @@ class SatSolver:
             for v in range(1, self._num_vars + 1):
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
+        self._order_dirty = True
 
     def _analyze(self, conflict: _Clause) -> tuple[list[Lit], int]:
         """First-UIP conflict analysis: (learned clause, backjump level)."""
@@ -237,29 +260,86 @@ class SatSolver:
             self._assign[var] = UNASSIGNED
             self._reason[var] = None
         del self._trail[limit:]
+        self._cursor = 0
         del self._trail_lim[level:]
         self._prop_head = min(self._prop_head, len(self._trail))
 
     # -- search ---------------------------------------------------------------
 
     def _pick_branch(self) -> Lit:
-        best = 0
-        best_act = -1.0
-        for var in range(1, self._num_vars + 1):
-            if self._assign[var] == UNASSIGNED and self._activity[var] > best_act:
-                best = var
-                best_act = self._activity[var]
-        if best == 0:
-            return 0
-        # Phase saving, defaulting to False: keeps optional lazy-theory
-        # predicates unasserted unless the clauses demand them.
-        return best if self._polarity[best] else -best
+        # Walk the precomputed (activity desc, index asc) order from the
+        # cursor: every var before it is assigned on the current search
+        # path (the cursor resets on backtrack, and the order is rebuilt
+        # when a conflict bumps activities).  This returns exactly what
+        # a full max-activity scan would, but amortises to O(1) per
+        # decision instead of O(num_vars) -- the scan made a persistent
+        # incremental solver, whose var table spans its whole query
+        # chain, pay for the entire chain's history on every decision.
+        if self._order_dirty:
+            activity = self._activity
+            self._order = sorted(
+                range(1, self._num_vars + 1), key=lambda v: (-activity[v], v)
+            )
+            self._order_dirty = False
+            self._cursor = 0
+        order = self._order
+        assign = self._assign
+        i = self._cursor
+        n = len(order)
+        while i < n:
+            var = order[i]
+            if assign[var] == UNASSIGNED:
+                self._cursor = i
+                # Phase saving, defaulting to False: keeps optional
+                # lazy-theory predicates unasserted unless the clauses
+                # demand them.
+                return var if self._polarity[var] else -var
+            i += 1
+        self._cursor = i
+        return 0
 
-    def solve(self) -> bool:
-        """Search for a satisfying assignment of all variables."""
+    def _analyze_final(self, p: Lit) -> None:
+        """Collect the assumptions that force assumption ``p`` false.
+
+        Walks the implication graph backwards from ``-p`` (which is on
+        the trail); every decision reached is an assumption (assumptions
+        are the only decisions below the failing one), and together with
+        ``p`` they form a subset of the assumptions under which the
+        clause set has no model.
+        """
+        self.final_conflict = [p]
+        if self.decision_level == 0:
+            return
+        seen = {abs(p)}
+        for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if var not in seen:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                # A decision below the failing assumption: by
+                # construction it is itself one of the assumptions.
+                self.final_conflict.append(lit)
+            else:
+                for q in reason.lits:
+                    if abs(q) != var and self._level[abs(q)] > 0:
+                        seen.add(abs(q))
+
+    def solve(self, assumptions: Sequence[Lit] = ()) -> bool:
+        """Search for a satisfying assignment of all variables.
+
+        ``assumptions`` are installed as the first decisions (MiniSat
+        style); on failure caused by them, :attr:`final_conflict` names
+        the failing subset and the solver state remains valid -- only a
+        conflict at level 0 marks the clause set itself unsatisfiable.
+        """
+        self.final_conflict = []
         self._backtrack(0)
         if not self._ok:
             return False
+        for a in assumptions:
+            self.ensure_vars(abs(a))
         conflicts = 0
         restart_limit = 100
         while True:
@@ -290,9 +370,27 @@ class SatSolver:
                     restart_limit = int(restart_limit * 1.5)
                     self._backtrack(0)
             else:
-                lit = self._pick_branch()
+                lit = 0
+                while self.decision_level < len(assumptions):
+                    # Re-install pending assumptions as decisions (they
+                    # are dropped by restarts and deep backjumps).
+                    p = assumptions[self.decision_level]
+                    val = self._value(p)
+                    if val == TRUE_VAL:
+                        # Already implied: open a dummy level so the
+                        # level index keeps tracking assumption ranks.
+                        self._trail_lim.append(len(self._trail))
+                        continue
+                    if val == FALSE_VAL:
+                        self._analyze_final(p)
+                        self._backtrack(0)
+                        return False
+                    lit = p
+                    break
                 if lit == 0:
-                    return True
+                    lit = self._pick_branch()
+                    if lit == 0:
+                        return True
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(lit, None)
 

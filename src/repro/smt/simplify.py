@@ -1,0 +1,114 @@
+"""Pre-encoding simplification of assertion terms.
+
+The ``mk_*`` builders already fold constants, flatten ``and``/``or``,
+and drop duplicate operands at construction time.  This pass adds the
+rules that only pay off on *assembled* formulas -- the verifier glues
+invariants, arm formulas, and negated context together, and the result
+routinely contains complementary literals and absorbable disjuncts
+that the builders cannot see locally:
+
+* complement annihilation: ``a AND NOT a`` -> false, ``a OR NOT a`` -> true;
+* absorption: ``a AND (a OR b)`` -> ``a``, ``a OR (a AND b)`` -> ``a``;
+* reflexive implication: ``a => a`` -> true;
+* boolean ``ite`` with constant branches lowered to plain connectives.
+
+Rebuilding through the ``mk_*`` builders re-runs their normalisation on
+the simplified children, so constant folding cascades.  The pass is
+memoized per solver instance (terms are interned, so pointer identity
+keys the memo) and runs before Tseitin encoding: smaller formulas mean
+fewer SAT variables and clauses on the hottest path.
+"""
+
+from __future__ import annotations
+
+from . import terms as tm
+from .terms import Term
+
+#: kinds with no simplifiable structure below them
+_LEAF_KINDS = (tm.VAR, tm.INT_CONST, tm.BOOL_CONST)
+
+
+def simplify(t: Term, memo: dict[Term, Term] | None = None) -> Term:
+    """A term equivalent to ``t``, simplified bottom-up."""
+    if memo is None:
+        memo = {}
+    return _simplify(t, memo)
+
+
+def _simplify(t: Term, memo: dict[Term, Term]) -> Term:
+    if t.kind in _LEAF_KINDS:
+        return t
+    hit = memo.get(t)
+    if hit is not None:
+        return hit
+    args = tuple(_simplify(a, memo) for a in t.args)
+    result = _rebuild(t, args)
+    kind = result.kind
+    if kind == tm.AND:
+        result = _simplify_and(result)
+    elif kind == tm.OR:
+        result = _simplify_or(result)
+    elif kind == tm.IMPLIES and result.args[0] is result.args[1]:
+        result = tm.TRUE
+    elif kind == tm.ITE and result.sort.name == "Bool":
+        result = _simplify_bool_ite(result)
+    memo[t] = result
+    return result
+
+
+def _rebuild(t: Term, args: tuple) -> Term:
+    if args == t.args:
+        return t
+    if t.kind == tm.APP:
+        return tm.mk_app(t.payload, args)
+    return tm._rebuild(t, args)
+
+
+def _simplify_and(t: Term) -> Term:
+    operands = t.args
+    present = set(operands)
+    kept: list[Term] = []
+    changed = False
+    for a in operands:
+        if tm.mk_not(a) in present:
+            return tm.FALSE
+        # Absorption: a AND (a OR b) == a -- drop the disjunction when
+        # one of its disjuncts is itself a conjunct.
+        if a.kind == tm.OR and any(d in present for d in a.args):
+            changed = True
+            continue
+        kept.append(a)
+    if not changed:
+        return t
+    return tm.mk_and(*kept)
+
+
+def _simplify_or(t: Term) -> Term:
+    operands = t.args
+    present = set(operands)
+    kept: list[Term] = []
+    changed = False
+    for a in operands:
+        if tm.mk_not(a) in present:
+            return tm.TRUE
+        # Absorption: a OR (a AND b) == a.
+        if a.kind == tm.AND and any(c in present for c in a.args):
+            changed = True
+            continue
+        kept.append(a)
+    if not changed:
+        return t
+    return tm.mk_or(*kept)
+
+
+def _simplify_bool_ite(t: Term) -> Term:
+    c, then, alt = t.args
+    if then is tm.TRUE:
+        return tm.mk_or(c, alt)
+    if then is tm.FALSE:
+        return tm.mk_and(tm.mk_not(c), alt)
+    if alt is tm.TRUE:
+        return tm.mk_implies(c, then)
+    if alt is tm.FALSE:
+        return tm.mk_and(c, then)
+    return t

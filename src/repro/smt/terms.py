@@ -64,7 +64,16 @@ class Term:
     Do not instantiate directly; use the ``mk_*`` builders below.
     """
 
-    __slots__ = ("kind", "args", "payload", "sort", "_id")
+    __slots__ = (
+        "kind",
+        "args",
+        "payload",
+        "sort",
+        "_id",
+        "_fp",
+        "_iface",
+        "_atoms",
+    )
 
     _interned: dict[tuple, "Term"] = {}
     _counter = itertools.count()
@@ -80,6 +89,17 @@ class Term:
         term.payload = payload
         term.sort = sort
         term._id = next(cls._counter)
+        #: lazily computed structural fingerprint (see repro.smt.cache);
+        #: cached on the interned node so fingerprinting a query never
+        #: re-walks shared DAG structure
+        term._fp = None
+        #: lazily computed interface-term candidates (see
+        #: repro.smt.theory._interface_terms)
+        term._iface = None
+        #: lazily computed theory atoms (see repro.smt.cache.term_atoms);
+        #: a light subset of the fingerprint, cached separately so hot
+        #: paths that only need atoms never pay for sha256 digests
+        term._atoms = None
         cls._interned[key] = term
         return term
 

@@ -165,6 +165,27 @@ def _minimize_conflict(literals: list[Literal]) -> list[Literal]:
     return core
 
 
+def _iface_candidates(atom: Term) -> tuple[Term, ...]:
+    """Arguments of uninterpreted applications under ``atom``.
+
+    Cached on the interned node: theory checks re-examine the same
+    atoms every round and every query, and the subterm walk was the
+    single hottest path in the whole solver.
+    """
+    cached = atom._iface
+    if cached is None:
+        cached = tuple(
+            dict.fromkeys(
+                arg
+                for sub in tm.subterms(atom)
+                if sub.kind == tm.APP
+                for arg in sub.args
+            )
+        )
+        atom._iface = cached
+    return cached
+
+
 def _interface_terms(literals: list[Literal], shared: set[Term]) -> list[Term]:
     """Shared integer terms that feed EUF congruence.
 
@@ -175,11 +196,9 @@ def _interface_terms(literals: list[Literal], shared: set[Term]) -> list[Term]:
     """
     out: set[Term] = set()
     for atom, _ in literals:
-        for sub in tm.subterms(atom):
-            if sub.kind == tm.APP:
-                for arg in sub.args:
-                    if arg in shared:
-                        out.add(arg)
+        for arg in _iface_candidates(atom):
+            if arg in shared:
+                out.add(arg)
     return sorted(out, key=lambda t: t._id)
 
 
@@ -195,10 +214,26 @@ def _check_once(literals: list[Literal]) -> tuple[bool, TheoryModel | None]:
     # Register shared integer terms so congruence can reach them.
     for t in sep.shared:
         euf.find(t)
+    return _combine(euf, sep.lia_constraints, sep.shared, literals)
 
-    constraints = list(sep.lia_constraints)
-    shared = sorted(sep.shared, key=lambda t: t._id)
-    probe_terms = _interface_terms(literals, sep.shared)
+
+def _combine(
+    euf: EufSolver,
+    lia_constraints: list[lia.Constraint],
+    shared_set: set[Term],
+    literals: list[Literal],
+) -> tuple[bool, TheoryModel | None]:
+    """Nelson-Oppen fixpoint + model assembly over a primed EUF engine.
+
+    ``euf`` must already hold the literal set's equalities, disequalities
+    and predicate assertions, with every shared term registered; the
+    fixpoint then only exchanges equalities between the theories.  The
+    caller owns the engine, so a persistent (undoable) instance can roll
+    the exchange back afterwards.
+    """
+    constraints = list(lia_constraints)
+    shared = sorted(shared_set, key=lambda t: t._id)
+    probe_terms = _interface_terms(literals, shared_set)
     known_eq: set[tuple[Term, Term]] = set()
     result = lia.LiaResult(True)
 
@@ -255,3 +290,108 @@ def _check_once(literals: list[Literal]) -> tuple[bool, TheoryModel | None]:
     for atom, value in literals:
         model.atom_values[atom] = value
     return True, model
+
+
+class _StackEntry:
+    """One asserted literal plus everything needed to retract it."""
+
+    __slots__ = ("atom", "value", "mark", "n_lia", "shared")
+
+    def __init__(self, atom, value, mark, n_lia, shared):
+        self.atom = atom
+        self.value = value
+        self.mark = mark
+        self.n_lia = n_lia
+        self.shared = shared
+
+
+class TheoryContext:
+    """A persistent theory checker that reuses state across literal sets.
+
+    Consecutive theory checks issued by one incremental solver share
+    most of their literals (the encoding orders atoms stably, so shared
+    atoms occupy a common prefix).  Instead of rebuilding the congruence
+    closure from scratch per check, this context keeps one undoable
+    :class:`EufSolver` and a literal stack: each :meth:`check` pops the
+    stack back to the longest common prefix with the new literal list,
+    pushes the divergent suffix (settling the closure per literal, so
+    prefix work is never repeated), and then runs the same Nelson-Oppen
+    exchange as :func:`check_literals` -- whose own mutations are rolled
+    back before the next check, since equalities entailed under one
+    constraint set need not hold under the next.
+
+    Verdicts match :func:`check_literals` (the closure is
+    order-independent and the exchange runs on identical data); model
+    *representatives* may differ, which is fine because callers only use
+    models semantically.  Conflicts are minimised by the stateless path.
+    """
+
+    def __init__(self) -> None:
+        self._euf = EufSolver(undoable=True)
+        self._stack: list[_StackEntry] = []
+        self._lia: list[lia.Constraint] = []
+        self._shared: dict[Term, int] = {}
+        self._fix_mark: tuple[int, int] | None = None
+
+    def check(self, literals: list[Literal]) -> TheoryCheck:
+        self._sync(literals)
+        self._fix_mark = self._euf.mark()
+        consistent, model = _combine(
+            self._euf, self._lia, set(self._shared), literals
+        )
+        if consistent:
+            return TheoryCheck(True, model=model)
+        core = _minimize_conflict(literals)
+        return TheoryCheck(False, conflict=core)
+
+    def _sync(self, literals: list[Literal]) -> None:
+        euf = self._euf
+        if self._fix_mark is not None:
+            euf.undo_to(self._fix_mark)
+            self._fix_mark = None
+        stack = self._stack
+        prefix = 0
+        limit = min(len(stack), len(literals))
+        while prefix < limit:
+            entry = stack[prefix]
+            atom, value = literals[prefix]
+            if entry.atom is not atom or entry.value is not value:
+                break
+            prefix += 1
+        while len(stack) > prefix:
+            entry = stack.pop()
+            euf.undo_to(entry.mark)
+            del self._lia[entry.n_lia :]
+            for t in entry.shared:
+                count = self._shared[t] - 1
+                if count:
+                    self._shared[t] = count
+                else:
+                    del self._shared[t]
+        for lit in literals[prefix:]:
+            self._push(lit)
+
+    def _push(self, lit: Literal) -> None:
+        euf = self._euf
+        entry = _StackEntry(
+            lit[0], lit[1], euf.mark(), len(self._lia), ()
+        )
+        sep = _Separation([lit])
+        for a, b in sep.euf_eqs:
+            euf.assert_eq(a, b)
+        for a, b in sep.euf_nes:
+            euf.assert_ne(a, b)
+        for atom, value in sep.preds:
+            euf.assert_pred(atom, value)
+        for t in sep.shared:
+            euf.find(t)
+        # Settle now so this literal's closure work sits below the next
+        # literal's mark and survives later pops of deeper entries.
+        euf._settle()
+        if sep.lia_constraints:
+            self._lia.extend(sep.lia_constraints)
+        if sep.shared:
+            entry.shared = tuple(sep.shared)
+            for t in sep.shared:
+                self._shared[t] = self._shared.get(t, 0) + 1
+        self._stack.append(entry)

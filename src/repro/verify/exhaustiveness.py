@@ -61,9 +61,13 @@ class ExhaustivenessChecker:
     def _translator(self) -> Translator:
         return Translator(self.ctx, self.owner)
 
-    def _check(self, formulas: list[F]) -> tuple[Result, TheoryModel | None]:
+    def _check(
+        self, formulas: list[F], want_model: bool = False
+    ) -> tuple[Result, TheoryModel | None]:
         return self.session.check(
-            self.ctx.plugin, [f.to_term() for f in formulas]
+            self.ctx.plugin,
+            [f.to_term() for f in formulas],
+            want_model=want_model,
         )
 
     # ------------------------------------------------------------------
@@ -112,7 +116,7 @@ class ExhaustivenessChecker:
             invariant.append(negate(fir.fresh(arm_f)))
         if has_else:
             return outcome
-        result, model = self._check(invariant)
+        result, model = self._check(invariant, want_model=True)
         if result == Result.SAT:
             outcome.exhaustive = False
             outcome.counterexample = self._render_counterexample(
@@ -200,7 +204,9 @@ class ExhaustivenessChecker:
                 span,
             )
             return None
-        result, model = self._check(context + [negate(fir.fresh(let_f))])
+        result, model = self._check(
+            context + [negate(fir.fresh(let_f))], want_model=True
+        )
         if result == Result.SAT:
             self.diag.warn(
                 WarningKind.LET_MAY_FAIL,

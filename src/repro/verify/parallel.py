@@ -28,6 +28,7 @@ way because all worker state flows through the initializer.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -57,6 +58,7 @@ def _init_worker(
     budget: float | None,
     use_cache: bool,
     cache_dir: str | None,
+    incremental: bool = True,
 ) -> None:
     """Build this worker's table and cache tiers (runs once per process)."""
     from ..smt.cache import SolverCache
@@ -72,6 +74,7 @@ def _init_worker(
     _WORKER["table"] = table
     _WORKER["budget"] = budget
     _WORKER["cache"] = cache
+    _WORKER["incremental"] = incremental
 
 
 def verify_method_task(task: VerifyTask) -> TaskOutcome:
@@ -82,7 +85,10 @@ def verify_method_task(task: VerifyTask) -> TaskOutcome:
     between tasks, and cached verdicts never change warnings.
     """
     verifier = Verifier(
-        _WORKER["table"], budget=_WORKER["budget"], cache=_WORKER["cache"]
+        _WORKER["table"],
+        budget=_WORKER["budget"],
+        cache=_WORKER["cache"],
+        incremental=_WORKER.get("incremental", True),
     )
     verifier.run_task(task)
     return TaskOutcome(
@@ -122,17 +128,44 @@ def merge_outcomes(
     )
 
 
+#: below this many tasks, ``--jobs auto`` stays serial: pool startup and
+#: table pickling cost more than the queries they would parallelize
+AUTO_MIN_TASKS = 8
+
+#: ``--jobs auto`` never uses more workers than this, however many
+#: cores the box has; the corpus-sized workloads stop scaling earlier
+AUTO_MAX_JOBS = 8
+
+
+def resolve_jobs(jobs: int | str, task_count: int) -> int:
+    """Turn a ``--jobs`` value (an int or ``"auto"``) into a worker count.
+
+    ``auto`` falls back to serial on single-CPU machines and for small
+    task counts -- BENCH_verify.json recorded a 0.73x parallel
+    "speedup" on a 1-CPU box, so process-pool overhead must never be
+    the default.
+    """
+    if jobs != "auto":
+        return int(jobs)
+    cpus = os.cpu_count() or 1
+    if cpus < 2 or task_count < AUTO_MIN_TASKS:
+        return 1
+    return max(1, min(cpus, task_count, AUTO_MAX_JOBS))
+
+
 def verify_parallel(
     table: ProgramTable,
-    jobs: int,
+    jobs: int | str,
     budget: float | None = None,
     use_cache: bool = True,
     cache_dir: str | None = None,
+    incremental: bool = True,
 ) -> VerificationReport:
     """Verify every task of ``table`` on a pool of ``jobs`` processes."""
+    tasks = list(iter_tasks(table))
+    jobs = resolve_jobs(jobs, len(tasks))
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
-    tasks = list(iter_tasks(table))
     start = time.perf_counter()
     if jobs == 1 or len(tasks) <= 1:
         # Nothing to fan out: take the serial path (same code, no pool).
@@ -146,12 +179,14 @@ def verify_parallel(
 
                 disk = DiskCache(cache_dir)
             cache = SolverCache(disk=disk)
-        return Verifier(table, budget=budget, cache=cache).run()
+        return Verifier(
+            table, budget=budget, cache=cache, incremental=incremental
+        ).run()
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(tasks)),
         mp_context=_pool_context(),
         initializer=_init_worker,
-        initargs=(table, budget, use_cache, cache_dir),
+        initargs=(table, budget, use_cache, cache_dir, incremental),
     ) as pool:
         # Executor.map preserves task order, so the merge is stable no
         # matter which worker finishes first.

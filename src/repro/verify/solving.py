@@ -9,14 +9,34 @@ single place to
   mutating ``Solver.TIME_BUDGET``, which would leak to every later
   in-process caller),
 * choose the query cache (the process-wide one by default, a private
-  one, or none), and
+  one, or none),
 * record per-query wall time and solver counters against the method
-  currently being verified.
+  currently being verified, and
+* keep one *persistent incremental engine per encoding context*, so
+  the query chain a checker emits (the same invariant under arm 1,
+  arms 1-2, arms 1-2-3, ...) shares its Tseitin encoding, plugin
+  axioms, theory lemmas, and CDCL-learned clauses instead of
+  rebuilding them from scratch per query.
+
+Incremental checking works by diffing each query against the engine's
+current assertion stack: the longest common prefix is kept (those
+assertions stay encoded, their activation literals stay assumable),
+the divergent suffix is popped (guards retired), and the new suffix is
+pushed one assertion per frame.  Verdicts are unaffected -- only work
+is shared -- with one deliberate exception: a shared engine's SAT
+*models* depend on inherited search state, so a query that needs a
+model (for counterexample rendering) bypasses the shared engine and is
+answered outright by a fresh single-query solve, the same
+deterministic computation the from-scratch engine performs.  Cached
+SAT entries therefore only ever carry these canonical models (a shared
+engine stores verdicts alone, and a verdict-only entry never satisfies
+nor displaces a model query -- see ``Solver(need_model=...)``).
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 
 from ..metrics.solver_stats import VerifyStats
 from ..smt import Result, Solver
@@ -26,37 +46,153 @@ from ..smt.terms import Term
 from ..smt.theory import TheoryModel
 
 
+class _Engine:
+    """A persistent incremental solver plus its raw assertion stack."""
+
+    __slots__ = ("plugin", "solver", "stack")
+
+    def __init__(self, plugin: LazyTheoryPlugin, solver: Solver):
+        self.plugin = plugin
+        self.solver = solver
+        self.stack: list[Term] = []
+
+
 class SolverSession:
     """One verification run's solver configuration and statistics."""
+
+    #: engines kept alive at once; checkers use one context per
+    #: statement, so a tiny LRU covers the live chain plus stragglers
+    MAX_ENGINES = 4
 
     def __init__(
         self,
         budget: float | None = None,
         cache: SolverCache | None = GLOBAL_CACHE,
         stats: VerifyStats | None = None,
+        incremental: bool = True,
     ):
         self.budget = budget
         self.cache = cache
         self.stats = stats
+        self.incremental = incremental
         #: set by the driver around each method; labels the stats rows
         self.method_label = "<toplevel>"
+        self._engines: OrderedDict[int, _Engine] = OrderedDict()
 
     def solver(self, plugin: LazyTheoryPlugin | None = None) -> Solver:
-        return Solver(plugin, cache=self.cache, time_budget=self.budget)
+        return Solver(
+            plugin,
+            cache=self.cache,
+            time_budget=self.budget,
+            incremental=self.incremental,
+        )
 
     def check(
-        self, plugin: LazyTheoryPlugin | None, terms: list[Term]
+        self,
+        plugin: LazyTheoryPlugin | None,
+        terms: list[Term],
+        want_model: bool = False,
     ) -> tuple[Result, TheoryModel | None]:
-        """Solve one query, recording it against the current method."""
-        solver = self.solver(plugin)
-        for term in terms:
-            solver.add(term)
+        """Solve one query, recording it against the current method.
+
+        ``want_model`` asks for a counterexample model on SAT; callers
+        that only branch on the verdict leave it off, which lets the
+        incremental engine skip the canonical re-solve that models
+        require (see the module docstring).
+        """
         start = time.perf_counter()
-        result = solver.check()
+        if self.incremental and plugin is not None:
+            if want_model:
+                # Model-producing queries are answered by the reference
+                # single-query solve directly: its model is canonical by
+                # construction, and running the shared engine first would
+                # only repeat the same work (see _model_query).
+                result, model, query_stats = self._model_query(plugin, terms)
+            else:
+                result, model, query_stats = self._check_incremental(
+                    plugin, terms
+                )
+        else:
+            solver = self.solver(plugin)
+            for term in terms:
+                solver.add(term)
+            result = solver.check()
+            model = solver.model() if result == Result.SAT else None
+            query_stats = solver.stats
         elapsed = time.perf_counter() - start
         if self.stats is not None:
             self.stats.record(
-                self.method_label, result.value, elapsed, solver.stats
+                self.method_label, result.value, elapsed, query_stats
             )
-        model = solver.model() if result == Result.SAT else None
         return result, model
+
+    # -- incremental path --------------------------------------------------
+
+    def _engine_for(self, plugin: LazyTheoryPlugin) -> _Engine:
+        key = id(plugin)
+        engine = self._engines.get(key)
+        if engine is not None and engine.plugin is plugin:
+            self._engines.move_to_end(key)
+            return engine
+        engine = _Engine(
+            plugin,
+            Solver(
+                plugin,
+                cache=self.cache,
+                time_budget=self.budget,
+                store_models=False,
+            ),
+        )
+        self._engines[key] = engine
+        while len(self._engines) > self.MAX_ENGINES:
+            self._engines.popitem(last=False)
+        return engine
+
+    def _check_incremental(self, plugin: LazyTheoryPlugin, terms: list[Term]):
+        engine = self._engine_for(plugin)
+        solver = engine.solver
+        stack = engine.stack
+        # Diff against the previous query: keep the common prefix, pop
+        # the stale suffix, push the new one (one frame per assertion).
+        prefix = 0
+        limit = min(len(stack), len(terms))
+        while prefix < limit and stack[prefix] is terms[prefix]:
+            prefix += 1
+        while len(stack) > prefix:
+            solver.pop()
+            stack.pop()
+        for term in terms[prefix:]:
+            solver.push()
+            solver.add(term)
+            stack.append(term)
+        before = solver.stats.snapshot()
+        result = solver.check()
+        query_stats = solver.stats.delta(before)
+        return result, None, query_stats
+
+    def _model_query(self, plugin: LazyTheoryPlugin, terms: list[Term]):
+        """Verdict *and* model from a fresh single-query solve.
+
+        Uses the session cache with ``need_model`` set, so a shared
+        engine's verdict-only entry cannot short-circuit it (a SAT hit
+        without a model snapshot counts as a miss and the fresh solve
+        runs); the canonical model it produces is then cached, which is
+        what makes warm re-verification skip these solves entirely.
+        Counterexamples rendered from the result -- solved fresh or
+        decoded from the cache -- are byte-identical to the
+        non-incremental engine's.  The shared engine is bypassed
+        entirely: solving there first would duplicate the whole query
+        just to throw its model away.
+        """
+        solver = Solver(
+            plugin,
+            cache=self.cache,
+            time_budget=self.budget,
+            incremental=False,
+            need_model=True,
+        )
+        for term in terms:
+            solver.add(term)
+        result = solver.check()
+        model = solver.model() if result == Result.SAT else None
+        return result, model, solver.stats

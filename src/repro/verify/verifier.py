@@ -99,11 +99,15 @@ class Verifier:
         table: ProgramTable,
         budget: float | None = None,
         cache: SolverCache | None = GLOBAL_CACHE,
+        incremental: bool = True,
     ):
         self.table = table
         self.diag = Diagnostics()
         self.session = SolverSession(
-            budget=budget, cache=cache, stats=VerifyStats()
+            budget=budget,
+            cache=cache,
+            stats=VerifyStats(),
+            incremental=incremental,
         )
         self.totality = TotalityChecker(table, self.diag, self.session)
         self.disjointness = DisjointnessChecker(table, self.diag, self.session)

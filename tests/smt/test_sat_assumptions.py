@@ -1,0 +1,148 @@
+"""Assumption-based solving: ``solve(assumptions)`` semantics.
+
+MiniSat-style assumptions are the substrate for the incremental
+DPLL(T) engine: activation literals guard retractable clause groups,
+and the failing-assumption subset (``final_conflict``) tells callers
+which group caused an UNSAT.  These tests pin the contract:
+
+* UNSAT under assumptions leaves the solver usable (no ``_ok`` flip),
+* ``final_conflict`` holds a subset of the passed assumptions,
+* a level-0 (formula) conflict yields an empty ``final_conflict``,
+* retracting an activation literal (permanent unit ``-act``) really
+  disables its guarded clauses.
+"""
+
+import random
+
+from repro.smt.sat import FALSE_VAL, TRUE_VAL, SatSolver
+
+
+def test_sat_under_assumptions_fixes_values():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    assert s.solve([-1])
+    assert s.value(1) == FALSE_VAL
+    assert s.value(2) == TRUE_VAL
+    assert s.final_conflict == []
+
+
+def test_unsat_under_assumptions_reports_final_conflict():
+    s = SatSolver()
+    s.add_clause([-1, 2])
+    s.add_clause([-2, 3])
+    assert not s.solve([1, -3])
+    assert s.final_conflict
+    assert set(s.final_conflict) <= {1, -3}
+
+
+def test_solver_usable_after_assumption_unsat():
+    s = SatSolver()
+    s.add_clause([-1, 2])
+    assert not s.solve([1, -2])
+    # The formula itself is satisfiable: the solver must recover.
+    assert s.solve()
+    assert s.solve([1])
+    assert s.value(2) == TRUE_VAL
+
+
+def test_directly_contradictory_assumptions():
+    s = SatSolver()
+    s.ensure_vars(1)
+    assert not s.solve([1, -1])
+    assert set(s.final_conflict) <= {1, -1}
+    assert s.solve([1])
+
+
+def test_already_true_assumption_is_skipped():
+    s = SatSolver()
+    s.add_clause([1])  # unit-propagated at level 0
+    assert s.solve([1, 2])
+    assert s.value(1) == TRUE_VAL
+    assert s.value(2) == TRUE_VAL
+
+
+def test_formula_level_conflict_leaves_final_conflict_empty():
+    s = SatSolver()
+    s.add_clause([1])
+    added = s.add_clause([-1])
+    assert not added or not s.solve([2])
+    assert s.final_conflict == []
+    # A formula-unsat solver stays unsat with or without assumptions.
+    assert not s.solve()
+
+
+def test_activation_literal_guards_clause_group():
+    s = SatSolver()
+    act = 3
+    # Guarded group: (act -> x1) and (act -> x2)
+    s.add_clause([-act, 1])
+    s.add_clause([-act, 2])
+    s.add_clause([-1, -2, 4])
+    assert s.solve([act])
+    assert s.value(1) == TRUE_VAL
+    assert s.value(2) == TRUE_VAL
+    assert s.value(4) == TRUE_VAL
+    # Without the assumption the group is vacuous: x1 can be false.
+    assert s.solve([-1])
+    assert s.value(1) == FALSE_VAL
+
+
+def test_retired_activation_literal_disables_group():
+    s = SatSolver()
+    act = 5
+    s.add_clause([-act, 1])
+    assert s.solve([act, -1]) is False  # group forces x1
+    assert set(s.final_conflict) <= {act, -1}
+    s.add_clause([-act])  # retire the group permanently
+    assert s.solve([-1])
+    assert s.value(1) == FALSE_VAL
+    # Assuming the retired literal itself is now unsatisfiable.
+    assert not s.solve([act])
+    assert s.final_conflict == [act]
+
+
+def test_assumptions_with_learned_clauses_randomized():
+    """Assumption runs agree with unconditioned runs plus unit clauses."""
+    rng = random.Random(20260806)
+    for _ in range(30):
+        num_vars = rng.randint(4, 9)
+        clauses = [
+            [
+                rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                for _ in range(rng.randint(1, 3))
+            ]
+            for _ in range(rng.randint(3, 18))
+        ]
+        assumptions = []
+        for v in rng.sample(range(1, num_vars + 1), rng.randint(1, 3)):
+            assumptions.append(rng.choice([-1, 1]) * v)
+
+        s1 = SatSolver()
+        ok1 = True
+        for c in clauses:
+            ok1 = s1.add_clause(list(c)) and ok1
+        got = ok1 and s1.solve(assumptions)
+
+        s2 = SatSolver()
+        ok2 = True
+        for c in clauses + [[a] for a in assumptions]:
+            ok2 = s2.add_clause(list(c)) and ok2
+        want = ok2 and s2.solve()
+
+        assert got == want, (clauses, assumptions)
+        if not got and ok1:
+            assert set(s1.final_conflict) <= set(assumptions)
+
+
+def test_interleaved_assumption_queries_share_learned_clauses():
+    s = SatSolver()
+    s.add_clause([-1, 2])
+    s.add_clause([-2, 3])
+    s.add_clause([-3, 4])
+    for _ in range(3):
+        assert s.solve([1])
+        assert s.value(4) == TRUE_VAL
+        assert not s.solve([1, -4])
+        assert set(s.final_conflict) <= {1, -4}
+    assert s.solve([-4])
+    assert s.value(1) == FALSE_VAL

@@ -1,0 +1,148 @@
+"""Unit tests for the pre-encoding simplification pass."""
+
+import random
+
+from repro.smt import terms as tm
+from repro.smt.simplify import simplify
+from repro.smt.terms import (
+    BOOL,
+    INT,
+    mk_and,
+    mk_bool,
+    mk_implies,
+    mk_int,
+    mk_ite,
+    mk_le,
+    mk_not,
+    mk_or,
+    mk_var,
+)
+
+TRUE = mk_bool(True)
+FALSE = mk_bool(False)
+
+
+def bvar(name):
+    return mk_var(name, BOOL)
+
+
+def test_leaves_pass_through():
+    a = bvar("a")
+    assert simplify(a) is a
+    assert simplify(TRUE) is TRUE
+    assert simplify(mk_int(7)) is mk_int(7)
+
+
+def test_complement_pair_in_and():
+    a, b = bvar("a"), bvar("b")
+    assert simplify(mk_and(a, b, mk_not(a))) is FALSE
+
+
+def test_complement_pair_in_or():
+    a, b = bvar("a"), bvar("b")
+    assert simplify(mk_or(a, b, mk_not(a))) is TRUE
+
+
+def test_and_absorption():
+    a, b = bvar("a"), bvar("b")
+    assert simplify(mk_and(a, mk_or(a, b))) is a
+
+
+def test_or_absorption():
+    a, b = bvar("a"), bvar("b")
+    assert simplify(mk_or(a, mk_and(a, b))) is a
+
+
+def test_reflexive_implication():
+    a = bvar("a")
+    assert simplify(mk_implies(a, a)) is TRUE
+
+
+def test_bool_ite_constant_branches():
+    c, t, e = bvar("c"), bvar("t"), bvar("e")
+    assert simplify(mk_ite(c, TRUE, e)) is mk_or(c, e)
+    assert simplify(mk_ite(c, FALSE, e)) is mk_and(mk_not(c), e)
+    assert simplify(mk_ite(c, t, TRUE)) is mk_implies(c, t)
+    assert simplify(mk_ite(c, t, FALSE)) is mk_and(c, t)
+
+
+def test_simplification_cascades_bottom_up():
+    a, b = bvar("a"), bvar("b")
+    # (a AND (a OR b)) => a  -- inner absorption turns this into a => a.
+    assert simplify(mk_implies(mk_and(a, mk_or(a, b)), a)) is TRUE
+
+
+def test_nonboolean_structure_preserved():
+    x = mk_var("x", INT)
+    t = mk_le(x, mk_int(3))
+    assert simplify(t) is t
+
+
+def test_memo_is_reusable_across_calls():
+    a, b = bvar("a"), bvar("b")
+    memo = {}
+    t = mk_and(a, mk_or(a, b))
+    first = simplify(t, memo)
+    assert simplify(t, memo) is first
+    assert t in memo
+
+
+def _random_formula(rng, depth, atoms):
+    if depth == 0 or rng.random() < 0.3:
+        t = rng.choice(atoms)
+        return mk_not(t) if rng.random() < 0.4 else t
+    op = rng.choice(["and", "or", "implies", "ite"])
+    if op == "and":
+        return mk_and(*[
+            _random_formula(rng, depth - 1, atoms)
+            for _ in range(rng.randint(2, 3))
+        ])
+    if op == "or":
+        return mk_or(*[
+            _random_formula(rng, depth - 1, atoms)
+            for _ in range(rng.randint(2, 3))
+        ])
+    if op == "implies":
+        return mk_implies(
+            _random_formula(rng, depth - 1, atoms),
+            _random_formula(rng, depth - 1, atoms),
+        )
+    return mk_ite(
+        _random_formula(rng, depth - 1, atoms),
+        _random_formula(rng, depth - 1, atoms),
+        _random_formula(rng, depth - 1, atoms),
+    )
+
+
+def _evaluate(t, values):
+    if t.kind == tm.BOOL_CONST:
+        return t.payload
+    if t.kind == tm.VAR:
+        return values[t]
+    vals = [_evaluate(a, values) for a in t.args]
+    if t.kind == tm.NOT:
+        return not vals[0]
+    if t.kind == tm.AND:
+        return all(vals)
+    if t.kind == tm.OR:
+        return any(vals)
+    if t.kind == tm.IMPLIES:
+        return (not vals[0]) or vals[1]
+    if t.kind == tm.IFF:
+        return vals[0] == vals[1]
+    if t.kind == tm.ITE:
+        return vals[1] if vals[0] else vals[2]
+    raise AssertionError(f"unexpected kind {t.kind}")
+
+
+def test_simplify_preserves_truth_tables():
+    rng = random.Random(13)
+    atoms = [bvar(n) for n in "pqr"]
+    for _ in range(60):
+        t = _random_formula(rng, 3, atoms)
+        s = simplify(t)
+        for bits in range(8):
+            values = {
+                atoms[i]: bool(bits >> i & 1) for i in range(len(atoms))
+            }
+            assert _evaluate(t, values) == _evaluate(s, values), (t, s)

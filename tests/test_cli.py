@@ -131,6 +131,55 @@ def test_verify_jobs_output_matches_serial(program, capsys):
     assert strip(serial) == strip(parallel)
 
 
+def test_verify_rejects_garbage_jobs(program, capsys):
+    assert main(["verify", program(CLEAN), "--jobs", "lots"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_verify_jobs_auto_output_matches_serial(program, capsys):
+    path = program(BUGGY)
+    strip = lambda text: [
+        l for l in text.splitlines() if not l.startswith("checked ")
+    ]
+    assert main(["verify", path]) == 0
+    serial = capsys.readouterr().out
+    assert main(["verify", path, "--jobs", "auto"]) == 0
+    auto = capsys.readouterr().out
+    assert strip(serial) == strip(auto)
+
+
+def test_verify_profile_table(program, capsys):
+    assert main(["verify", program(BUGGY), "--profile"]) == 0
+    out = capsys.readouterr().out
+    for column in ("encode", "sat", "expand", "theory", "validate"):
+        assert column in out
+    assert "solver phases cover" in out
+
+
+def test_resolve_jobs_auto_policy(monkeypatch):
+    from repro.verify import parallel
+    from repro.verify.parallel import resolve_jobs
+
+    # Explicit integers pass through untouched.
+    assert resolve_jobs(3, 100) == 3
+    assert resolve_jobs("5", 1) == 5
+    # Serial on single-CPU boxes, whatever the task count.
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+    assert resolve_jobs("auto", 100) == 1
+    # Serial for tiny programs: pool startup costs more than it saves.
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+    assert resolve_jobs("auto", parallel.AUTO_MIN_TASKS - 1) == 1
+    # Otherwise bounded by cpus, tasks, and the hard ceiling.
+    assert resolve_jobs("auto", parallel.AUTO_MIN_TASKS) == (
+        parallel.AUTO_MIN_TASKS
+    )
+    assert resolve_jobs("auto", 1000) == parallel.AUTO_MAX_JOBS
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+    assert resolve_jobs("auto", 1000) == 2
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: None)
+    assert resolve_jobs("auto", 1000) == 1
+
+
 def test_verify_cache_dir_flag_warms_across_runs(program, capsys, tmp_path):
     path = program(BUGGY)
     cache_dir = str(tmp_path / "verdicts")
