@@ -104,6 +104,19 @@ def test_cached_cold_is_not_slower_than_no_cache(results):
     )
 
 
+def test_fault_tolerance_is_invisible_on_a_healthy_run(results):
+    """The submit-based pipeline must cost nothing when nothing fails.
+
+    An undisturbed benchmark pass retries no tasks, times none out, and
+    degrades none to UNKNOWN -- any nonzero count here means the
+    recovery machinery fired spuriously (a phantom crash, a watchdog
+    misjudging a healthy pool) and is distorting every timing lane.
+    """
+    assert results["tasks_retried"] == 0
+    assert results["tasks_timed_out"] == 0
+    assert results["tasks_failed"] == 0
+
+
 def test_benchmark_json_is_fresh_and_complete(results):
     on_disk = json.loads(OUT_PATH.read_text())
     for key in (
@@ -121,6 +134,9 @@ def test_benchmark_json_is_fresh_and_complete(results):
         "warm_cache_hit_rate",
         "queries_cold",
         "jobs",
+        "tasks_retried",
+        "tasks_timed_out",
+        "tasks_failed",
     ):
         assert key in on_disk, f"BENCH_verify.json missing {key}"
     assert on_disk["queries_cold"] > 0

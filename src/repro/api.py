@@ -40,6 +40,7 @@ def verify(
     jobs: int | str = 1,
     cache_dir: str | None = None,
     incremental: bool = True,
+    task_timeout: float | None = None,
 ) -> VerificationReport:
     """Run the full static verification pass (Sections 5-6).
 
@@ -76,6 +77,15 @@ def verify(
     across iterative-deepening depths); ``False`` rebuilds the solver
     from scratch per query and per deepening depth, which is the
     reference engine the differential test-suite compares against.
+
+    ``task_timeout`` bounds each verification task's (method's) wall
+    time; an obligation that overruns it is reported with an
+    UNKNOWN-style warning instead of hanging the run.  It also arms
+    the fault-tolerant pipeline on the serial path: a task that fails
+    degrades to a warning rather than raising.  Parallel runs are
+    always fault-tolerant — a crashed worker's unfinished tasks are
+    retried and, as a last resort, run serially in this process (see
+    :mod:`repro.verify.parallel`).
     """
     use_cache = cache is not None
     if jobs == "auto":
@@ -93,6 +103,7 @@ def verify(
             use_cache=use_cache,
             cache_dir=cache_dir if use_cache else None,
             incremental=incremental,
+            task_timeout=task_timeout,
         )
     if use_cache and cache_dir is not None:
         from .smt.diskcache import DiskCache
@@ -101,6 +112,16 @@ def verify(
             cache = SolverCache(disk=DiskCache(cache_dir))
         elif cache.disk is None:
             cache.disk = DiskCache(cache_dir)
+    if task_timeout is not None:
+        from .verify.parallel import verify_serial_with_timeout
+
+        return verify_serial_with_timeout(
+            unit.table,
+            budget=budget,
+            cache=cache,
+            incremental=incremental,
+            task_timeout=task_timeout,
+        )
     return Verifier(
         unit.table, budget=budget, cache=cache, incremental=incremental
     ).run()

@@ -10,7 +10,9 @@ Usage::
 Exit status: 0 on success (for ``verify``: even with warnings, since
 verification "only affects warnings given to the programmer"); 1 on
 compile errors (with several files: if any file failed to compile);
-2 on bad usage, including a non-positive ``--budget`` or ``--jobs``.
+2 on bad usage, including a non-positive ``--budget``, ``--jobs``, or
+``--task-timeout``; 130 when interrupted (Ctrl-C), after cancelling any
+verification work still queued on the worker pool.
 """
 
 from __future__ import annotations
@@ -44,6 +46,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if args.budget is not None and args.budget <= 0:
         print(
             f"error: --budget must be positive, got {args.budget}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        print(
+            f"error: --task-timeout must be positive, got {args.task_timeout}",
             file=sys.stderr,
         )
         return 2
@@ -82,6 +90,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             cache=cache,
             jobs=jobs,
             cache_dir=cache_dir,
+            task_timeout=args.task_timeout,
         )
         for warning in report.diagnostics.warnings:
             print(warning)
@@ -160,6 +169,12 @@ def main(argv: list[str] | None = None) -> int:
         "pool from the CPU count and task count (default: 1, serial)",
     )
     p_verify.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock limit per verification task (method); an "
+        "obligation that overruns it is reported inconclusive instead "
+        "of hanging the run (must be positive; default: no limit)",
+    )
+    p_verify.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent verdict cache location (default: $REPRO_CACHE_DIR "
         "or .repro-cache)",
@@ -192,7 +207,14 @@ def main(argv: list[str] | None = None) -> int:
     p_tokens.set_defaults(func=cmd_tokens)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # The parallel engine has already cancelled its queued futures
+        # (shutdown(cancel_futures=True)) on the way out; exit with the
+        # conventional 128+SIGINT status instead of a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

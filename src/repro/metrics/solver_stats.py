@@ -87,6 +87,14 @@ class VerifyStats:
 
     per_method: dict[str, QueryStats] = field(default_factory=dict)
     total: QueryStats = field(default_factory=QueryStats)
+    # -- pipeline fault-tolerance accounting (repro.verify.parallel) --
+    #: task re-executions after a worker crash/failure (pool retry
+    #: round plus in-process serial fallback runs)
+    tasks_retried: int = 0
+    #: obligations cut off by the per-task deadline and warned UNKNOWN
+    tasks_timed_out: int = 0
+    #: obligations degraded to UNKNOWN after exhausting every retry
+    tasks_failed: int = 0
 
     def record(
         self, method: str, verdict: str, seconds: float, solver_stats
@@ -109,6 +117,9 @@ class VerifyStats:
         for name, stats in other.per_method.items():
             self.per_method.setdefault(name, QueryStats()).merge(stats)
         self.total.merge(other.total)
+        self.tasks_retried += other.tasks_retried
+        self.tasks_timed_out += other.tasks_timed_out
+        self.tasks_failed += other.tasks_failed
 
     def format_table(self) -> str:
         """The ``--stats`` table: one row per method plus totals."""
@@ -138,6 +149,10 @@ class VerifyStats:
         lines.append(
             f"cache hit rate: {t.cache_hit_rate:.1%} "
             f"({t.cache_hits}/{t.cache_hits + t.cache_misses})"
+        )
+        lines.append(
+            f"tasks: {self.tasks_retried} retried, "
+            f"{self.tasks_timed_out} timed out, {self.tasks_failed} failed"
         )
         return "\n".join(lines)
 

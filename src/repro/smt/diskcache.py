@@ -27,8 +27,9 @@ Layout and safety:
   verdict anyway;
 * a corrupt or truncated entry (killed process, disk full) deserializes
   badly, is counted, deleted, and treated as a miss — never an error;
-* every I/O failure degrades to "cache disabled for that entry":
-  verification must work on a read-only filesystem.
+* every I/O *or serialization* failure degrades to "cache disabled for
+  that entry": verification must work on a read-only filesystem and
+  with model snapshots that pickle refuses.
 
 Only conclusive verdicts are stored; UNKNOWN depends on the wall-clock
 budget of the run that produced it, so persisting it would be wrong for
@@ -49,6 +50,21 @@ from .cache import _FORMAT_VERSION as _FINGERPRINT_FORMAT
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 _MAGIC = "repro-smt-verdict"
+
+
+def _fault_corrupts_cache() -> bool:
+    """Whether the fault-injection harness wants writes truncated.
+
+    The fast path never imports the harness; under ``REPRO_FAULT`` the
+    import happens at call time, when the package is fully loaded, so
+    this lower layer carries no import-time dependency on the verify
+    package.
+    """
+    if "REPRO_FAULT" not in os.environ:
+        return False
+    from ..verify.faults import corrupt_cache_writes
+
+    return corrupt_cache_writes()
 
 
 class DiskCache:
@@ -115,20 +131,27 @@ class DiskCache:
         return verdict, snapshot
 
     def store(self, digest: bytes, verdict_value: str, snapshot) -> None:
-        """Atomically publish one entry (best-effort; failures are silent)."""
+        """Atomically publish one entry (best-effort; failures are silent).
+
+        Serialization happens *inside* the guard and any exception is
+        counted, not raised: an unpicklable or too-deep model snapshot
+        must cost one cache entry, never the verification run.
+        """
         path = self._path(digest)
-        payload = pickle.dumps(
-            (
-                _MAGIC,
-                _FINGERPRINT_FORMAT,
-                self.ENTRY_FORMAT,
-                digest,
-                verdict_value,
-                snapshot,
-            )
-        )
         tmp_name = None
         try:
+            payload = pickle.dumps(
+                (
+                    _MAGIC,
+                    _FINGERPRINT_FORMAT,
+                    self.ENTRY_FORMAT,
+                    digest,
+                    verdict_value,
+                    snapshot,
+                )
+            )
+            if _fault_corrupts_cache():
+                payload = payload[: max(1, len(payload) // 2)]
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
                 dir=path.parent, prefix=".tmp-", suffix=".part"
@@ -140,7 +163,7 @@ class DiskCache:
             os.replace(tmp_name, path)
             tmp_name = None
             self.stores += 1
-        except OSError:
+        except Exception:
             self.errors += 1
             if tmp_name is not None:
                 try:

@@ -1,4 +1,4 @@
-"""Parallel per-method verification.
+"""Parallel per-method verification with fault tolerance.
 
 The paper verifies "one method at a time" (Section 7), so the program
 table decomposes into independent :class:`~repro.verify.verifier
@@ -19,6 +19,35 @@ table decomposes into independent :class:`~repro.verify.verifier
   atomic writes make concurrent access safe — a verdict one worker
   stores is a solve another worker skips.
 
+The pipeline survives worker failure the way the solver already
+survives hard queries — by degrading instead of diverging (the paper's
+Section 6.2 time budget turns an undecidable obligation into a
+conservative warning; this module does the same at the process level):
+
+* **crash recovery** — tasks go through per-task ``submit`` with
+  completion tracking, so when a worker dies (OOM killer, hard crash:
+  ``BrokenProcessPool``) every already-completed outcome is kept, the
+  pool is respawned once, and only the unfinished tasks are retried;
+  tasks still unfinished after the retry round run serially in this
+  process.  A task whose execution raises (worker alive) skips the
+  pool retry — a deterministic exception would just recur — and goes
+  straight to the serial fallback; if it fails there too, it degrades
+  to an UNKNOWN-style warning instead of crashing the run.
+* **per-task deadlines** — ``task_timeout`` bounds each obligation's
+  wall time via ``SIGALRM`` in whichever process runs it, converting a
+  hung task into a deterministic UNKNOWN-style warning attributed to
+  its method.  A parent-side watchdog backstops the alarm: if no task
+  completes for well past the deadline (alarm lost, worker wedged in
+  native code), the workers are killed and the unfinished tasks take
+  the crash-recovery path.  On platforms without ``SIGALRM`` the
+  deadline is best-effort (no-op).
+* **accounting** — ``tasks_retried`` / ``tasks_timed_out`` /
+  ``tasks_failed`` land on :class:`~repro.metrics.solver_stats
+  .VerifyStats` (and the report), rendered by ``verify --stats``.
+
+Every recovery path is exercised deterministically in tests through
+the :mod:`repro.verify.faults` harness (``REPRO_FAULT``).
+
 Processes, not threads: solving is pure-Python CPU work, so threads
 would serialize on the GIL.  The ``fork`` start method is preferred
 for its low startup cost; ``spawn`` (macOS, Windows) works the same
@@ -27,16 +56,27 @@ way because all worker state flows through the initializer.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from ..errors import Diagnostics, Warning
+from ..errors import Diagnostics, Warning, WarningKind
 from ..lang.symbols import ProgramTable
 from ..metrics.solver_stats import VerifyStats
-from .verifier import VerificationReport, Verifier, VerifyTask, iter_tasks
+from .faults import active_fault, maybe_fail_task
+from .verifier import (
+    VerificationReport,
+    Verifier,
+    VerifyTask,
+    iter_tasks,
+    task_span,
+)
 
 
 @dataclass
@@ -49,6 +89,59 @@ class TaskOutcome:
     stats: VerifyStats = field(default_factory=VerifyStats)
 
 
+class TaskTimeout(Exception):
+    """A task overran its per-task wall-clock deadline."""
+
+
+@contextlib.contextmanager
+def task_deadline(seconds: float | None):
+    """Raise :class:`TaskTimeout` in this thread after ``seconds``.
+
+    Uses ``SIGALRM``/``setitimer``, so it only arms on the main thread
+    of a process on platforms that have it (pool workers always qualify:
+    they run tasks on their main thread).  Anywhere else the deadline
+    degrades to a no-op — the parent-side watchdog still bounds the run.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def build_cache(use_cache: bool, cache_dir: str | None):
+    """The cache tiers one verifying process uses (or None).
+
+    The single construction point for "an in-memory tier, optionally in
+    front of a disk tier at ``cache_dir``" — the worker initializer,
+    the serial path, and the serial fallback all call it, so the tier
+    wiring cannot drift between them.
+    """
+    if not use_cache:
+        return None
+    from ..smt.cache import SolverCache
+
+    disk = None
+    if cache_dir is not None:
+        from ..smt.diskcache import DiskCache
+
+        disk = DiskCache(cache_dir)
+    return SolverCache(disk=disk)
+
+
 #: per-worker-process state, set once by the pool initializer
 _WORKER: dict = {}
 
@@ -59,43 +152,91 @@ def _init_worker(
     use_cache: bool,
     cache_dir: str | None,
     incremental: bool = True,
+    task_timeout: float | None = None,
 ) -> None:
     """Build this worker's table and cache tiers (runs once per process)."""
-    from ..smt.cache import SolverCache
-
-    cache = None
-    if use_cache:
-        disk = None
-        if cache_dir is not None:
-            from ..smt.diskcache import DiskCache
-
-            disk = DiskCache(cache_dir)
-        cache = SolverCache(disk=disk)
     _WORKER["table"] = table
     _WORKER["budget"] = budget
-    _WORKER["cache"] = cache
+    _WORKER["cache"] = build_cache(use_cache, cache_dir)
     _WORKER["incremental"] = incremental
+    _WORKER["task_timeout"] = task_timeout
 
 
-def verify_method_task(task: VerifyTask) -> TaskOutcome:
-    """Verify one task inside a worker, rebuilding the solver session.
+def run_one_task(
+    table: ProgramTable,
+    task: VerifyTask,
+    budget: float | None,
+    cache,
+    incremental: bool,
+    task_timeout: float | None,
+) -> TaskOutcome:
+    """Verify one task, rebuilding the solver session.
 
     A fresh :class:`Verifier` (and with it a fresh ``SolverSession``)
-    is constructed per task; only the worker-wide query cache persists
-    between tasks, and cached verdicts never change warnings.
+    is constructed per task; only the caller's query cache persists
+    between tasks, and cached verdicts never change warnings.  A task
+    that overruns ``task_timeout`` returns a deterministic timed-out
+    outcome (partial warnings are discarded — how far a deadline lets
+    a task get is scheduler noise); other failures propagate.
     """
     verifier = Verifier(
-        _WORKER["table"],
-        budget=_WORKER["budget"],
-        cache=_WORKER["cache"],
-        incremental=_WORKER.get("incremental", True),
+        table, budget=budget, cache=cache, incremental=incremental
     )
-    verifier.run_task(task)
+    try:
+        with task_deadline(task_timeout):
+            maybe_fail_task(task.label)
+            verifier.run_task(task)
+    except TaskTimeout:
+        return _timed_out_outcome(table, task, task_timeout)
     return TaskOutcome(
         warnings=verifier.diag.warnings,
         methods_checked=verifier.methods_checked,
         statements_checked=verifier.statements_checked,
         stats=verifier.session.stats,
+    )
+
+
+def _timed_out_outcome(
+    table: ProgramTable, task: VerifyTask, task_timeout: float | None
+) -> TaskOutcome:
+    """The degraded outcome of a task cut off by its deadline."""
+    diag = Diagnostics()
+    diag.warn(
+        WarningKind.UNKNOWN,
+        f"verification of {task.label} exceeded the task timeout "
+        f"({task_timeout:g}s); treating this obligation as inconclusive",
+        task_span(table, task),
+    )
+    stats = VerifyStats()
+    stats.tasks_timed_out = 1
+    return TaskOutcome(warnings=diag.warnings, stats=stats)
+
+
+def _failed_outcome(
+    table: ProgramTable, task: VerifyTask, exc: BaseException
+) -> TaskOutcome:
+    """The degraded outcome of a task that failed its last retry."""
+    diag = Diagnostics()
+    diag.warn(
+        WarningKind.UNKNOWN,
+        f"verification of {task.label} failed "
+        f"({type(exc).__name__}); treating this obligation as inconclusive",
+        task_span(table, task),
+    )
+    stats = VerifyStats()
+    stats.tasks_failed = 1
+    return TaskOutcome(warnings=diag.warnings, stats=stats)
+
+
+def verify_method_task(task: VerifyTask) -> TaskOutcome:
+    """Verify one task inside a pool worker (see :func:`run_one_task`)."""
+    return run_one_task(
+        _WORKER["table"],
+        task,
+        _WORKER["budget"],
+        _WORKER["cache"],
+        _WORKER.get("incremental", True),
+        _WORKER.get("task_timeout"),
     )
 
 
@@ -153,6 +294,163 @@ def resolve_jobs(jobs: int | str, task_count: int) -> int:
     return max(1, min(cpus, task_count, AUTO_MAX_JOBS))
 
 
+def _stall_window(task_timeout: float) -> float:
+    """How long zero completions may pass before the watchdog fires.
+
+    Generous on purpose: every healthy worker either finishes its task
+    or has its in-worker alarm fire within ``task_timeout``, so a
+    silent stretch of twice that (plus scheduling slack) means every
+    worker is wedged past its alarm.
+    """
+    return task_timeout * 2 + 5.0
+
+
+def _drain_pool(
+    pool: ProcessPoolExecutor,
+    indexed_tasks: list[tuple[int, VerifyTask]],
+    task_timeout: float | None,
+):
+    """Submit tasks and collect outcomes until done or the pool breaks.
+
+    Returns ``(outcomes, raised, broken)``: outcomes and in-worker
+    exceptions by task index, plus whether the pool died (worker crash
+    or watchdog kill) — in which case unaccounted tasks are simply the
+    ones in neither dict.
+    """
+    futures = {
+        pool.submit(verify_method_task, task): index
+        for index, task in indexed_tasks
+    }
+    outcomes: dict[int, TaskOutcome] = {}
+    raised: dict[int, BaseException] = {}
+    broken = False
+    pending = set(futures)
+    window = _stall_window(task_timeout) if task_timeout is not None else None
+    while pending and not broken:
+        done, pending = wait(
+            pending, timeout=window, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            # Watchdog: nothing completed for well past the per-task
+            # deadline, so the in-worker alarms are not firing (wedged
+            # in native code, signal lost).  Kill the workers; the
+            # unfinished tasks take the crash-recovery path.
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+            broken = True
+            break
+        for future in done:
+            index = futures[future]
+            try:
+                outcomes[index] = future.result()
+            except BrokenProcessPool:
+                broken = True
+            except Exception as exc:  # task raised inside a live worker
+                raised[index] = exc
+    return outcomes, raised, broken
+
+
+def _run_rounds(
+    table: ProgramTable,
+    tasks: list[VerifyTask],
+    jobs: int,
+    budget: float | None,
+    use_cache: bool,
+    cache_dir: str | None,
+    incremental: bool,
+    task_timeout: float | None,
+) -> tuple[dict[int, TaskOutcome], int]:
+    """The pool rounds plus serial fallback; every task gets an outcome.
+
+    Round one submits everything; if the pool breaks, round two
+    respawns it and retries only the unfinished tasks.  Whatever is
+    left after that — and any task that raised inside a worker — runs
+    serially in this process, where a final failure degrades to an
+    UNKNOWN-style warning instead of taking the run down.
+    """
+    outcomes: dict[int, TaskOutcome] = {}
+    retried = 0
+    fallback: dict[int, VerifyTask] = {}
+    remaining = list(enumerate(tasks))
+    for round_number in (1, 2):
+        if not remaining:
+            break
+        if round_number == 2:
+            retried += len(remaining)
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(remaining)),
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(
+                table,
+                budget,
+                use_cache,
+                cache_dir,
+                incremental,
+                task_timeout,
+            ),
+        )
+        try:
+            done, raised, broken = _drain_pool(pool, remaining, task_timeout)
+        except BaseException:
+            # KeyboardInterrupt (or anything unexpected): drop queued
+            # work without blocking on what is already running.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=not broken, cancel_futures=True)
+        outcomes.update(done)
+        fallback.update(
+            (index, task) for index, task in remaining if index in raised
+        )
+        remaining = [
+            (index, task)
+            for index, task in remaining
+            if index not in outcomes and index not in raised
+        ]
+        if not broken:
+            break
+    fallback.update(remaining)
+    if fallback:
+        retried += len(fallback)
+        cache = build_cache(use_cache, cache_dir)
+        for index, task in sorted(fallback.items()):
+            try:
+                outcomes[index] = run_one_task(
+                    table, task, budget, cache, incremental, task_timeout
+                )
+            except Exception as exc:
+                outcomes[index] = _failed_outcome(table, task, exc)
+    return outcomes, retried
+
+
+def verify_serial_with_timeout(
+    table: ProgramTable,
+    budget: float | None = None,
+    cache=None,
+    incremental: bool = True,
+    task_timeout: float | None = None,
+) -> VerificationReport:
+    """The serial driver with per-task deadlines and degradation.
+
+    The ``jobs == 1`` analogue of the fault-tolerant pipeline (also its
+    in-process fallback semantics): each task runs under the deadline,
+    and a task that raises degrades to an UNKNOWN-style warning.
+    """
+    active_fault()  # reject a malformed REPRO_FAULT loudly, up front
+    start = time.perf_counter()
+    outcomes: list[TaskOutcome] = []
+    for task in iter_tasks(table):
+        try:
+            outcomes.append(
+                run_one_task(
+                    table, task, budget, cache, incremental, task_timeout
+                )
+            )
+        except Exception as exc:
+            outcomes.append(_failed_outcome(table, task, exc))
+    return merge_outcomes(outcomes, time.perf_counter() - start)
+
+
 def verify_parallel(
     table: ProgramTable,
     jobs: int | str,
@@ -160,8 +458,16 @@ def verify_parallel(
     use_cache: bool = True,
     cache_dir: str | None = None,
     incremental: bool = True,
+    task_timeout: float | None = None,
 ) -> VerificationReport:
-    """Verify every task of ``table`` on a pool of ``jobs`` processes."""
+    """Verify every task of ``table`` on a pool of ``jobs`` processes.
+
+    Partial results are always preserved: outcomes are tracked per
+    task, merged in deterministic task order exactly as a serial run
+    would produce them, whatever crashed, hung, or got retried along
+    the way (see the module docstring for the recovery policy).
+    """
+    active_fault()  # reject a malformed REPRO_FAULT loudly, up front
     tasks = list(iter_tasks(table))
     jobs = resolve_jobs(jobs, len(tasks))
     if jobs < 1:
@@ -169,26 +475,26 @@ def verify_parallel(
     start = time.perf_counter()
     if jobs == 1 or len(tasks) <= 1:
         # Nothing to fan out: take the serial path (same code, no pool).
-        from ..smt.cache import SolverCache
-
-        cache = None
-        if use_cache:
-            disk = None
-            if cache_dir is not None:
-                from ..smt.diskcache import DiskCache
-
-                disk = DiskCache(cache_dir)
-            cache = SolverCache(disk=disk)
-        return Verifier(
-            table, budget=budget, cache=cache, incremental=incremental
-        ).run()
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(tasks)),
-        mp_context=_pool_context(),
-        initializer=_init_worker,
-        initargs=(table, budget, use_cache, cache_dir, incremental),
-    ) as pool:
-        # Executor.map preserves task order, so the merge is stable no
-        # matter which worker finishes first.
-        outcomes = list(pool.map(verify_method_task, tasks))
-    return merge_outcomes(outcomes, time.perf_counter() - start)
+        cache = build_cache(use_cache, cache_dir)
+        if task_timeout is None:
+            return Verifier(
+                table, budget=budget, cache=cache, incremental=incremental
+            ).run()
+        return verify_serial_with_timeout(
+            table,
+            budget=budget,
+            cache=cache,
+            incremental=incremental,
+            task_timeout=task_timeout,
+        )
+    outcomes, retried = _run_rounds(
+        table, tasks, jobs, budget, use_cache, cache_dir, incremental,
+        task_timeout,
+    )
+    assert len(outcomes) == len(tasks), "every task must have an outcome"
+    report = merge_outcomes(
+        [outcomes[index] for index in range(len(tasks))],
+        time.perf_counter() - start,
+    )
+    report.solver_stats.tasks_retried += retried
+    return report

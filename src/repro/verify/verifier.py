@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from ..errors import Diagnostics, WarningKind
+from ..errors import NO_SPAN, Diagnostics, WarningKind
 from ..lang import ast
 from ..lang.symbols import MethodInfo, ProgramTable
 from ..metrics.solver_stats import VerifyStats
@@ -57,6 +57,21 @@ class VerifyTask:
     type_name: str = ""
     method_name: str = ""
 
+    @property
+    def label(self) -> str:
+        """The human-facing name of this obligation.
+
+        Matches the ``method`` column of ``verify --stats`` for method
+        and function tasks; also the handle the fault-injection harness
+        (:mod:`repro.verify.faults`) and timeout warnings use, so a
+        task can be named from the command line.
+        """
+        if self.kind == "invariants":
+            return f"invariant of {self.type_name}"
+        if self.kind == "method":
+            return f"{self.type_name}.{self.method_name}"
+        return self.method_name
+
 
 def iter_tasks(table: ProgramTable) -> Iterator[VerifyTask]:
     """All verification tasks of a program, in serial (source) order.
@@ -76,6 +91,19 @@ def iter_tasks(table: ProgramTable) -> Iterator[VerifyTask]:
         yield VerifyTask("function", method_name=function_name)
 
 
+def task_span(table: ProgramTable, task: VerifyTask):
+    """The source span a task's pipeline-level warnings attach to."""
+    if task.kind == "invariants":
+        info = table.types[task.type_name]
+        if info.invariants:
+            return info.invariants[0].span
+        return info.decl.span if info.decl is not None else NO_SPAN
+    if task.kind == "method":
+        return table.types[task.type_name].methods[task.method_name].decl.span
+    method = table.lookup_function(task.method_name)
+    return method.decl.span if method is not None else NO_SPAN
+
+
 @dataclass
 class VerificationReport:
     diagnostics: Diagnostics
@@ -91,6 +119,23 @@ class VerificationReport:
     @property
     def clean(self) -> bool:
         return not self.diagnostics.warnings
+
+    # -- fault-tolerance accounting (see repro.verify.parallel) --------
+
+    @property
+    def tasks_retried(self) -> int:
+        """Task re-executions after a worker crash or failure."""
+        return self.solver_stats.tasks_retried if self.solver_stats else 0
+
+    @property
+    def tasks_timed_out(self) -> int:
+        """Obligations cut off by the per-task deadline (warned UNKNOWN)."""
+        return self.solver_stats.tasks_timed_out if self.solver_stats else 0
+
+    @property
+    def tasks_failed(self) -> int:
+        """Obligations degraded to UNKNOWN after exhausting retries."""
+        return self.solver_stats.tasks_failed if self.solver_stats else 0
 
 
 class Verifier:

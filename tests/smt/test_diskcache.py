@@ -136,6 +136,97 @@ def test_store_failures_are_silent(tmp_path):
     assert len(cache.disk) == 0
 
 
+def test_unpicklable_snapshot_is_counted_not_raised(tmp_path):
+    """store() must survive a snapshot pickle refuses (the contract says
+    best-effort, so serialization belongs inside the guard)."""
+    disk = DiskCache(tmp_path / "verdicts")
+    disk.store(b"\x03" * 32, "sat", lambda: None)  # closures don't pickle
+    assert disk.errors == 1
+    assert disk.stores == 0
+    assert len(disk) == 0
+    # The cache keeps working for well-behaved entries afterwards.
+    disk.store(b"\x04" * 32, "sat", None)
+    assert disk.stores == 1
+
+
+def test_too_deep_snapshot_is_counted_not_raised(tmp_path):
+    disk = DiskCache(tmp_path / "verdicts")
+    deep = []
+    tail = deep
+    for _ in range(100_000):
+        tail.append([])
+        tail = tail[0]
+    disk.store(b"\x05" * 32, "sat", deep)  # RecursionError inside pickle
+    assert disk.errors == 1
+    assert len(disk) == 0
+
+
+def test_truncated_entry_degrades_to_miss(tmp_path):
+    first = _tiered(tmp_path)
+    assert _solve_pinned(first) == Result.SAT
+    for shard in first.disk.dir.iterdir():
+        for entry in shard.iterdir():
+            payload = entry.read_bytes()
+            entry.write_bytes(payload[: len(payload) // 2])
+    second = _tiered(tmp_path)
+    assert _solve_pinned(second) == Result.SAT
+    assert second.disk.errors == 1 and second.disk.hits == 0
+
+
+def test_readonly_cache_dir_never_raises(tmp_path, monkeypatch):
+    """A cache rooted on an unwritable filesystem counts errors and
+    otherwise stays out of the way."""
+    from pathlib import Path
+
+    real_mkdir = Path.mkdir
+
+    def deny(self, *args, **kwargs):
+        if str(self).startswith(str(tmp_path / "ro")):
+            raise PermissionError(13, "Read-only file system", str(self))
+        return real_mkdir(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "mkdir", deny)
+    cache = SolverCache(disk=DiskCache(tmp_path / "ro"))
+    assert _solve_pinned(cache) == Result.SAT
+    assert cache.disk.errors >= 1
+    assert len(cache.disk) == 0
+
+
+def test_readonly_cache_dir_run_still_succeeds(tmp_path, monkeypatch):
+    """End to end: verification works with --cache-dir on a path that
+    cannot be created (here: a regular file squats on it)."""
+    from repro import api
+
+    blocker = tmp_path / "cachefile"
+    blocker.write_text("not a directory")
+    source = """
+static int double(int x) {
+  return x * 2;
+}
+"""
+    unit = api.compile_program(source)
+    report = api.verify(unit, cache=SolverCache(), cache_dir=str(blocker))
+    assert report.methods_checked == 1
+
+
+def test_corrupt_cache_fault_truncates_writes(tmp_path, monkeypatch):
+    """REPRO_FAULT=corrupt-cache: every published entry is torn; a later
+    clean run counts and drops them, and the verdicts still come out."""
+    monkeypatch.setenv("REPRO_FAULT", "corrupt-cache")
+    first = _tiered(tmp_path)
+    assert _solve_pinned(first) == Result.SAT
+    assert first.disk.stores == 1  # the (torn) write itself succeeded
+    monkeypatch.delenv("REPRO_FAULT")
+    second = _tiered(tmp_path)
+    assert _solve_pinned(second) == Result.SAT
+    assert second.disk.errors == 1
+    assert second.disk.hits == 0
+    # The torn entry was dropped and re-stored intact: now it hits.
+    third = _tiered(tmp_path)
+    assert _solve_pinned(third) == Result.SAT
+    assert third.disk.hits == 1
+
+
 def test_global_cache_has_no_disk_tier():
     assert GLOBAL_CACHE.disk is None
 

@@ -98,6 +98,55 @@ def test_verify_rejects_nonpositive_jobs(program, capsys):
     assert "--jobs" in capsys.readouterr().err
 
 
+def test_verify_rejects_nonpositive_task_timeout(program, capsys):
+    for bad in ("0", "-2.5"):
+        assert main(["verify", program(CLEAN), "--task-timeout", bad]) == 2
+        assert "--task-timeout must be positive" in capsys.readouterr().err
+
+
+def test_verify_task_timeout_output_matches_plain(program, capsys):
+    path = program(BUGGY)
+    strip = lambda text: [
+        l for l in text.splitlines() if not l.startswith("checked ")
+    ]
+    assert main(["verify", path]) == 0
+    plain = capsys.readouterr().out
+    assert main(["verify", path, "--task-timeout", "60"]) == 0
+    bounded = capsys.readouterr().out
+    assert strip(plain) == strip(bounded)
+    assert main(["verify", path, "--task-timeout", "60", "--jobs", "2"]) == 0
+    bounded_parallel = capsys.readouterr().out
+    assert strip(plain) == strip(bounded_parallel)
+
+
+def test_verify_task_timeout_converts_hang_to_warning(program, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT", "hang:f")
+    path = program(BUGGY)
+    assert main(
+        ["verify", path, "--jobs", "2", "--task-timeout", "1", "--stats"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "exceeded the task timeout" in out
+    assert "1 timed out" in out
+
+
+def test_verify_stats_shows_task_accounting(program, capsys):
+    assert main(["verify", program(BUGGY), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "tasks: 0 retried, 0 timed out, 0 failed" in out
+
+
+def test_keyboard_interrupt_exits_130(program, capsys, monkeypatch):
+    from repro import api
+
+    def interrupted(*args, **kwargs):
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr(api, "verify", interrupted)
+    assert main(["verify", program(CLEAN)]) == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
 def test_verify_multiple_files(program, capsys):
     clean = program(CLEAN, "clean.jm")
     buggy = program(BUGGY, "buggy.jm")
