@@ -4,6 +4,11 @@
 >>> unit = api.compile_program(source_text)
 >>> report = api.verify(unit)
 >>> interp = api.interpreter(unit)
+
+Verification takes its configuration either as the consolidated
+:class:`VerifyOptions` object (``api.verify(unit, options=...)``) or as
+the historical keyword arguments; the two forms are equivalent and
+mutually exclusive.
 """
 
 from __future__ import annotations
@@ -13,9 +18,20 @@ from dataclasses import dataclass
 from .errors import Diagnostics
 from .lang import analyze, ast, parse_program
 from .lang.symbols import ProgramTable
+from .obs import NULL_TRACER, Tracer, write_jsonl
 from .runtime import Interpreter
 from .smt.cache import GLOBAL_CACHE, SolverCache
 from .verify import VerificationReport, Verifier
+from .verify.options import VerifyOptions, coalesce
+
+__all__ = [
+    "CompiledUnit",
+    "VerifyOptions",
+    "compile_and_verify",
+    "compile_program",
+    "interpreter",
+    "verify",
+]
 
 
 @dataclass
@@ -24,25 +40,42 @@ class CompiledUnit:
 
     program: ast.Program
     table: ProgramTable
+    #: where the source came from; names the unit's ``file`` trace span
+    filename: str = "<input>"
 
 
 def compile_program(source: str, filename: str = "<input>") -> CompiledUnit:
     """Parse and semantically check a JMatch program."""
     program = parse_program(source, filename)
     table = analyze(program)
-    return CompiledUnit(program, table)
+    return CompiledUnit(program, table, filename)
+
+
+#: distinguishes "keyword not passed" from every meaningful value
+_UNSET = object()
 
 
 def verify(
     unit: CompiledUnit,
-    budget: float | None = None,
-    cache: SolverCache | None = GLOBAL_CACHE,
-    jobs: int | str = 1,
-    cache_dir: str | None = None,
-    incremental: bool = True,
-    task_timeout: float | None = None,
+    budget: float | None = _UNSET,
+    cache: SolverCache | None = _UNSET,
+    jobs: int | str = _UNSET,
+    cache_dir: str | None = _UNSET,
+    incremental: bool = _UNSET,
+    task_timeout: float | None = _UNSET,
+    trace: str | None = _UNSET,
+    format: str = _UNSET,
+    *,
+    options: VerifyOptions | None = None,
 ) -> VerificationReport:
     """Run the full static verification pass (Sections 5-6).
+
+    Configuration comes from ``options`` (a :class:`VerifyOptions`) or
+    from the individual keyword arguments — never both.  The keywords
+    map 1:1 onto option fields with identical defaults, so
+    ``verify(unit, budget=2.0)`` and
+    ``verify(unit, options=VerifyOptions(budget=2.0))`` are the same
+    call.
 
     ``budget`` bounds each SMT query's wall time for this run only (it
     is threaded to the solver instances, never written to global
@@ -86,45 +119,79 @@ def verify(
     always fault-tolerant — a crashed worker's unfinished tasks are
     retried and, as a last resort, run serially in this process (see
     :mod:`repro.verify.parallel`).
+
+    ``trace`` writes the run's span tree — run, file, task, statement,
+    obligation, and query spans, with verdicts, cache-tier outcomes,
+    and solver phase timers — to that path as JSONL (see
+    :mod:`repro.obs`).  Serial and parallel runs of the same unit
+    produce the same tree modulo span ids, pids, and timings.  Leaving
+    it off runs the pipeline with the zero-cost null tracer.
     """
-    use_cache = cache is not None
+    legacy = {
+        name: value
+        for name, value in (
+            ("budget", budget),
+            ("cache", cache),
+            ("jobs", jobs),
+            ("cache_dir", cache_dir),
+            ("incremental", incremental),
+            ("task_timeout", task_timeout),
+            ("trace", trace),
+            ("format", format),
+        )
+        if value is not _UNSET
+    }
+    opts = coalesce(options, legacy)
+    opts.validate()
+    # The tracer: an externally-owned one (the CLI's, collecting many
+    # files under one run span), our own (``trace`` path set: we open
+    # the run span and write the sink), or the zero-cost null tracer.
+    tracer = opts.tracer
+    owns_trace = tracer is None and opts.trace is not None
+    if tracer is None:
+        tracer = Tracer() if owns_trace else NULL_TRACER
+    run_span = tracer.begin("run", "verify") if owns_trace else None
+    try:
+        with tracer.span("file", unit.filename):
+            report = _verify_table(unit.table, opts, tracer)
+    finally:
+        if owns_trace:
+            tracer.end(run_span)
+            write_jsonl(opts.trace, tracer.roots)
+    return report
+
+
+def _verify_table(
+    table: ProgramTable, opts: VerifyOptions, tracer
+) -> VerificationReport:
+    """Dispatch one table to the right driver for ``opts``."""
+    jobs = opts.jobs
     if jobs == "auto":
         from .verify.parallel import resolve_jobs
         from .verify.verifier import iter_tasks
 
-        jobs = resolve_jobs("auto", sum(1 for _ in iter_tasks(unit.table)))
+        jobs = resolve_jobs("auto", sum(1 for _ in iter_tasks(table)))
     if jobs != 1:
         from .verify.parallel import verify_parallel
 
         return verify_parallel(
-            unit.table,
-            jobs=jobs,
-            budget=budget,
-            use_cache=use_cache,
-            cache_dir=cache_dir if use_cache else None,
-            incremental=incremental,
-            task_timeout=task_timeout,
+            table, tracer=tracer, options=opts.replace(jobs=jobs)
         )
-    if use_cache and cache_dir is not None:
+    cache = opts.cache
+    if opts.use_cache and opts.cache_dir is not None:
         from .smt.diskcache import DiskCache
 
         if cache is GLOBAL_CACHE:
-            cache = SolverCache(disk=DiskCache(cache_dir))
+            cache = SolverCache(disk=DiskCache(opts.cache_dir))
         elif cache.disk is None:
-            cache.disk = DiskCache(cache_dir)
-    if task_timeout is not None:
+            cache.disk = DiskCache(opts.cache_dir)
+    if opts.task_timeout is not None:
         from .verify.parallel import verify_serial_with_timeout
 
         return verify_serial_with_timeout(
-            unit.table,
-            budget=budget,
-            cache=cache,
-            incremental=incremental,
-            task_timeout=task_timeout,
+            table, cache=cache, tracer=tracer, options=opts
         )
-    return Verifier(
-        unit.table, budget=budget, cache=cache, incremental=incremental
-    ).run()
+    return Verifier(table, cache=cache, tracer=tracer, options=opts).run()
 
 
 def interpreter(unit: CompiledUnit) -> Interpreter:

@@ -4,8 +4,15 @@ Usage::
 
     python -m repro.cli verify program.jm        # static checks
     python -m repro.cli verify --jobs 4 *.jm     # parallel, many files
+    python -m repro.cli verify --trace t.jsonl --format json program.jm
     python -m repro.cli run program.jm main 3 4  # call a function
     python -m repro.cli tokens                   # Table 1 token table
+
+``verify --format json`` prints one machine-readable document for the
+whole invocation (``{"files": [{"path", "report" | "error"}, ...]}``);
+``--trace FILE`` writes the run's span tree — every task, obligation,
+and SMT query, across all files and worker processes — to FILE as
+JSONL (see :mod:`repro.obs`).
 
 Exit status: 0 on success (for ``verify``: even with warnings, since
 verification "only affects warnings given to the programmer"); 1 on
@@ -18,6 +25,7 @@ verification work still queued on the worker pool.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -73,36 +81,65 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     cache = None if args.no_cache else GLOBAL_CACHE
     cache_dir = _cache_dir(args)
+    # With --trace, the CLI owns the tracer (and the run span), so one
+    # invocation over several files yields a single trace file; each
+    # api.verify call records its file span into it.
+    tracer = run_span = None
+    if args.trace is not None:
+        from .obs import Tracer
+
+        tracer = Tracer()
+        run_span = tracer.begin("run", "verify")
+    options = api.VerifyOptions(
+        budget=args.budget,
+        cache=cache,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        incremental=not args.no_incremental,
+        task_timeout=args.task_timeout,
+        tracer=tracer,
+        format=args.format,
+    )
+    json_mode = args.format == "json"
+    documents: list[dict] = []
     status = 0
     several = len(args.files) > 1
-    for path in args.files:
-        if several:
-            print(f"{path}:")
-        try:
-            unit = api.compile_program(_read(path), filename=path)
-        except JMatchError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            status = max(status, 1)
-            continue
-        report = api.verify(
-            unit,
-            budget=args.budget,
-            cache=cache,
-            jobs=jobs,
-            cache_dir=cache_dir,
-            task_timeout=args.task_timeout,
-        )
-        for warning in report.diagnostics.warnings:
-            print(warning)
-        print(
-            f"checked {report.methods_checked} methods, "
-            f"{report.statements_checked} statements in {report.seconds:.2f}s; "
-            f"{len(report.diagnostics.warnings)} warnings"
-        )
-        if args.stats and report.solver_stats is not None:
-            print(report.solver_stats.format_table())
-        if args.profile and report.solver_stats is not None:
-            print(report.solver_stats.format_profile())
+    try:
+        for path in args.files:
+            if several and not json_mode:
+                print(f"{path}:")
+            try:
+                unit = api.compile_program(_read(path), filename=path)
+            except JMatchError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                status = max(status, 1)
+                if json_mode:
+                    documents.append({"path": path, "error": str(exc)})
+                continue
+            report = api.verify(unit, options=options)
+            if json_mode:
+                documents.append({"path": path, "report": report.to_dict()})
+                continue
+            for warning in report.diagnostics.warnings:
+                print(warning)
+            print(
+                f"checked {report.methods_checked} methods, "
+                f"{report.statements_checked} statements in "
+                f"{report.seconds:.2f}s; "
+                f"{len(report.diagnostics.warnings)} warnings"
+            )
+            if args.stats and report.solver_stats is not None:
+                print(report.solver_stats.format_table())
+            if args.profile and report.solver_stats is not None:
+                print(report.solver_stats.format_profile())
+    finally:
+        if tracer is not None:
+            from .obs import write_jsonl
+
+            tracer.end(run_span)
+            write_jsonl(args.trace, tracer.roots)
+    if json_mode:
+        print(json.dumps({"files": documents}, indent=2))
     return status
 
 
@@ -192,6 +229,22 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true",
         help="solve every SMT query from scratch (disables both the "
         "in-memory and the disk cache tier)",
+    )
+    p_verify.add_argument(
+        "--no-incremental", action="store_true",
+        help="rebuild the solver from scratch for every query instead "
+        "of reusing the persistent incremental engine",
+    )
+    p_verify.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the run's span tree (files, tasks, obligations, SMT "
+        "queries with verdicts, cache tiers, and phase timers) to FILE "
+        "as JSONL",
+    )
+    p_verify.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format: 'text' (default, the historical output) or "
+        "'json' (one machine-readable document covering all files)",
     )
     p_verify.set_defaults(func=cmd_verify)
 

@@ -115,6 +115,19 @@ class Warning:
             text += f"\n  counterexample: {self.counterexample}"
         return text
 
+    def to_dict(self) -> dict:
+        """The warning as a JSON-ready structure (``--format json``)."""
+        return {
+            "kind": self.kind.value,
+            "message": self.message,
+            "file": self.span.filename,
+            "line": self.span.start.line,
+            "column": self.span.start.column,
+            "end_line": self.span.end.line,
+            "end_column": self.span.end.column,
+            "counterexample": self.counterexample,
+        }
+
 
 @dataclass
 class Diagnostics:

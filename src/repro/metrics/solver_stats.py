@@ -61,6 +61,28 @@ class QueryStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """The counters as a JSON-ready structure (``--format json``)."""
+        return {
+            "queries": self.queries,
+            "seconds": self.seconds,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "unknown": self.unknown,
+            "sat_rounds": self.sat_rounds,
+            "theory_conflicts": self.theory_conflicts,
+            "axioms_asserted": self.axioms_asserted,
+            "deepening_passes": self.deepening_passes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "encode_s": self.encode_s,
+            "sat_s": self.sat_s,
+            "expand_s": self.expand_s,
+            "theory_s": self.theory_s,
+            "validate_s": self.validate_s,
+        }
+
     def merge(self, other: "QueryStats") -> None:
         """Fold another group's counters into this one."""
         self.queries += other.queries
@@ -120,6 +142,24 @@ class VerifyStats:
         self.tasks_retried += other.tasks_retried
         self.tasks_timed_out += other.tasks_timed_out
         self.tasks_failed += other.tasks_failed
+
+    def to_dict(self) -> dict:
+        """The aggregate as a JSON-ready structure (``--format json``).
+
+        ``per_method`` is keyed and ordered by method label (the same
+        ordering ``--stats`` prints), so two runs that did the same
+        work serialize identically whatever order recorded them.
+        """
+        return {
+            "total": self.total.to_dict(),
+            "per_method": {
+                name: self.per_method[name].to_dict()
+                for name in sorted(self.per_method)
+            },
+            "tasks_retried": self.tasks_retried,
+            "tasks_timed_out": self.tasks_timed_out,
+            "tasks_failed": self.tasks_failed,
+        }
 
     def format_table(self) -> str:
         """The ``--stats`` table: one row per method plus totals."""

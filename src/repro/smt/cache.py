@@ -361,7 +361,7 @@ class Fingerprint:
     carry no model, and neither needs it.
     """
 
-    __slots__ = ("digest", "_vars", "_syms", "_canon")
+    __slots__ = ("digest", "_vars", "_syms", "_canon", "tier")
 
     def __init__(
         self,
@@ -373,6 +373,11 @@ class Fingerprint:
         self._vars = variables
         self._syms = syms
         self._canon: _Canonicalizer | None = None
+        #: which tier answered the last lookup of this fingerprint
+        #: ("memory" | "disk" | "miss"); set by ``SolverCache.lookup``.
+        #: Carried on the fingerprint (per-query, caller-owned) rather
+        #: than the cache so concurrent lookups cannot race on it.
+        self.tier: str = "miss"
 
     @property
     def canon(self) -> _Canonicalizer:
@@ -511,12 +516,19 @@ class SolverCache:
         return fingerprint_query(assertions, plugin, depth_schedule)
 
     def lookup(self, fp: Fingerprint):
-        """The stored (verdict, model-or-None), or None on a miss."""
+        """The stored (verdict, model-or-None), or None on a miss.
+
+        Also records which tier answered on ``fp.tier`` ("memory",
+        "disk", or "miss") for the observability layer.
+        """
         with self._lock:
+            fp.tier = "memory"
             entry = self._entries.get(fp.digest)
             if entry is None and self.disk is not None:
+                fp.tier = "disk"
                 entry = self._load_from_disk(fp.digest)
             if entry is None:
+                fp.tier = "miss"
                 self.misses += 1
                 return None
             verdict, stored_model = entry
@@ -530,6 +542,7 @@ class SolverCache:
                     self._entries.pop(fp.digest, None)
                     if self.disk is not None:
                         self.disk.invalidate(fp.digest)
+                    fp.tier = "miss"
                     self.misses += 1
                     return None
             self._entries[fp.digest] = entry

@@ -155,6 +155,13 @@ class Solver:
         #: expansions; its UNSAT answer is then inconclusive
         self._blocked_unconfirmed = False
         self.stats = SolverStats()
+        # -- per-check observability (read by the tracing layer) ---------
+        #: which cache tier answered the last check():
+        #: "memory" | "disk" | "miss" | "off" (no cache configured)
+        self.last_cache_tier: str = "off"
+        #: deepest iterative-deepening depth the last check() reached
+        #: (0: answered before deepening -- cache hit or no triggers)
+        self.last_depth: int = 0
         # -- the persistent incremental engine ---------------------------
         self._cnf = CnfBuilder()
         self._sat = SatSolver()
@@ -205,12 +212,15 @@ class Solver:
     def check(self) -> Result:
         """Decide the conjunction of current assertions."""
         self._model = None
+        self.last_depth = 0
+        self.last_cache_tier = "off"
         fp = None
         if self.cache is not None:
             fp = self.cache.fingerprint(
                 self._assertions, self.plugin, self.DEPTH_SCHEDULE
             )
             hit = self.cache.lookup(fp)
+            self.last_cache_tier = fp.tier
             if hit is not None:
                 verdict, model = hit
                 if not (
@@ -221,6 +231,9 @@ class Solver:
                     self.stats.cache_hits += 1
                     self._model = model
                     return verdict
+                # A verdict-only entry cannot answer a model query:
+                # behaves (and traces) as a miss.
+                self.last_cache_tier = "miss"
             self.stats.cache_misses += 1
         seconds = (
             self.TIME_BUDGET if self.time_budget is None else self.time_budget
@@ -255,6 +268,7 @@ class Solver:
             return self._run_pass(relevant)
         for depth in self.DEPTH_SCHEDULE:
             self.stats.deepening_passes += 1
+            self.last_depth = depth
             self.plugin.reset_for_depth(depth)
             result = self._run_pass(relevant)
             if result == Result.UNSAT and not self._blocked_unconfirmed:
@@ -289,6 +303,7 @@ class Solver:
             return self._rebuild_pass()
         for depth in self.DEPTH_SCHEDULE:
             self.stats.deepening_passes += 1
+            self.last_depth = depth
             self.plugin.reset_for_depth(depth)
             result = self._rebuild_pass()
             if result == Result.UNSAT and not self._blocked_unconfirmed:

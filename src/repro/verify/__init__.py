@@ -1,12 +1,14 @@
 """Static verification of exhaustiveness, redundancy, totality, and
 disjointness (Sections 4-6 of the paper)."""
 
+from .options import VerifyOptions
 from .parallel import verify_parallel
 from .verifier import VerificationReport, Verifier, VerifyTask, iter_tasks
 
 __all__ = [
     "VerificationReport",
     "Verifier",
+    "VerifyOptions",
     "VerifyTask",
     "iter_tasks",
     "verify_parallel",

@@ -94,29 +94,33 @@ class DisjointnessChecker:
             # Arms we cannot translate are not checked; the paper's
             # compiler similarly reports only what it can analyze.
             return
-        result, _ = self.session.check(
-            ctx.plugin, [f.to_term() for f in context + [left, right]]
-        )
-        if result != Result.UNSAT and (
-            self._involves_abstraction(left, ctx)
-            or self._involves_abstraction(right, ctx)
+        with self.session.tracer.span(
+            "obligation", f"disjointness of `{node}`"
         ):
-            # The overlap witness involves abstract constructors:
-            # "abstraction prevents us from making this guarantee"
-            # (Section 8), so `|` is asserted rather than verified here.
-            return
-        if result == Result.SAT:
-            self.diag.warn(
-                WarningKind.NOT_DISJOINT,
-                f"{label}: the arms of `{node}` are not disjoint",
-                span,
+            result, _ = self.session.check(
+                ctx.plugin, [f.to_term() for f in context + [left, right]]
             )
-        elif result == Result.UNKNOWN:
-            self.diag.warn(
-                WarningKind.UNKNOWN,
-                f"{label}: could not prove `{node}` disjoint",
-                span,
-            )
+            if result != Result.UNSAT and (
+                self._involves_abstraction(left, ctx)
+                or self._involves_abstraction(right, ctx)
+            ):
+                # The overlap witness involves abstract constructors:
+                # "abstraction prevents us from making this guarantee"
+                # (Section 8), so `|` is asserted rather than verified
+                # here.
+                return
+            if result == Result.SAT:
+                self.diag.warn(
+                    WarningKind.NOT_DISJOINT,
+                    f"{label}: the arms of `{node}` are not disjoint",
+                    span,
+                )
+            elif result == Result.UNKNOWN:
+                self.diag.warn(
+                    WarningKind.UNKNOWN,
+                    f"{label}: could not prove `{node}` disjoint",
+                    span,
+                )
 
     def _involves_abstraction(self, f: F, ctx: EncodeContext) -> bool:
         from ..smt import terms as tm

@@ -85,57 +85,62 @@ class ExhaustivenessChecker:
         outcome = CheckOutcome()
         invariant: list[F] = list(context)
         translator = self._translator()
+        tracer = self.session.tracer
         for index, arm in enumerate(arms):
-            try:
-                arm_f = translator.vf(arm, dict(env), lambda e: fir.TRUE)
-            except TranslationError as exc:
-                self.diag.warn(
-                    WarningKind.UNKNOWN,
-                    f"arm {index + 1} could not be analyzed: {exc.message}",
-                    span,
+            with tracer.span("obligation", f"redundancy of arm {index + 1}"):
+                try:
+                    arm_f = translator.vf(arm, dict(env), lambda e: fir.TRUE)
+                except TranslationError as exc:
+                    self.diag.warn(
+                        WarningKind.UNKNOWN,
+                        f"arm {index + 1} could not be analyzed: "
+                        f"{exc.message}",
+                        span,
+                    )
+                    outcome.arm_formulas.append(fir.TRUE)
+                    outcome.inconclusive = True
+                    continue
+                outcome.arm_formulas.append(arm_f)
+                result, _ = self._check(invariant + [arm_f])
+                if result == Result.UNSAT:
+                    outcome.redundant_arms.append(index)
+                    self.diag.warn(
+                        WarningKind.REDUNDANT_ARM,
+                        f"arm {index + 1} is redundant: no value reaches it",
+                        span,
+                    )
+                elif result == Result.UNKNOWN:
+                    outcome.inconclusive = True
+                    self.diag.warn(
+                        WarningKind.UNKNOWN,
+                        f"could not decide whether arm {index + 1} is "
+                        "redundant",
+                        span,
+                    )
+            invariant.append(negate(fir.fresh(arm_f)))
+        if has_else:
+            return outcome
+        with tracer.span("obligation", "exhaustiveness"):
+            result, model = self._check(invariant, want_model=True)
+            if result == Result.SAT:
+                outcome.exhaustive = False
+                outcome.counterexample = self._render_counterexample(
+                    model, env, subject_terms
                 )
-                outcome.arm_formulas.append(fir.TRUE)
-                outcome.inconclusive = True
-                continue
-            outcome.arm_formulas.append(arm_f)
-            result, _ = self._check(invariant + [arm_f])
-            if result == Result.UNSAT:
-                outcome.redundant_arms.append(index)
                 self.diag.warn(
-                    WarningKind.REDUNDANT_ARM,
-                    f"arm {index + 1} is redundant: no value reaches it",
+                    WarningKind.NONEXHAUSTIVE,
+                    "match is not exhaustive",
                     span,
+                    counterexample=outcome.counterexample,
                 )
             elif result == Result.UNKNOWN:
                 outcome.inconclusive = True
                 self.diag.warn(
                     WarningKind.UNKNOWN,
-                    f"could not decide whether arm {index + 1} is redundant",
+                    "no counterexample to exhaustiveness found, but there "
+                    "may be one (expansion depth exhausted)",
                     span,
                 )
-            invariant.append(negate(fir.fresh(arm_f)))
-        if has_else:
-            return outcome
-        result, model = self._check(invariant, want_model=True)
-        if result == Result.SAT:
-            outcome.exhaustive = False
-            outcome.counterexample = self._render_counterexample(
-                model, env, subject_terms
-            )
-            self.diag.warn(
-                WarningKind.NONEXHAUSTIVE,
-                "match is not exhaustive",
-                span,
-                counterexample=outcome.counterexample,
-            )
-        elif result == Result.UNKNOWN:
-            outcome.inconclusive = True
-            self.diag.warn(
-                WarningKind.UNKNOWN,
-                "no counterexample to exhaustiveness found, but there may "
-                "be one (expansion depth exhausted)",
-                span,
-            )
         return outcome
 
     def check_switch(
@@ -195,31 +200,34 @@ class ExhaustivenessChecker:
     ) -> F | None:
         """Warn when a let may fail; returns VF[[f]] for context reuse."""
         translator = self._translator()
-        try:
-            let_f = translator.vf(formula, dict(env), lambda e: fir.TRUE)
-        except TranslationError as exc:
-            self.diag.warn(
-                WarningKind.UNKNOWN,
-                f"let formula could not be analyzed: {exc.message}",
-                span,
+        with self.session.tracer.span("obligation", "let-totality"):
+            try:
+                let_f = translator.vf(formula, dict(env), lambda e: fir.TRUE)
+            except TranslationError as exc:
+                self.diag.warn(
+                    WarningKind.UNKNOWN,
+                    f"let formula could not be analyzed: {exc.message}",
+                    span,
+                )
+                return None
+            result, model = self._check(
+                context + [negate(fir.fresh(let_f))], want_model=True
             )
-            return None
-        result, model = self._check(
-            context + [negate(fir.fresh(let_f))], want_model=True
-        )
-        if result == Result.SAT:
-            self.diag.warn(
-                WarningKind.LET_MAY_FAIL,
-                f"let may not be total: {formula}",
-                span,
-                counterexample=self._render_counterexample(model, env, None),
-            )
-        elif result == Result.UNKNOWN:
-            self.diag.warn(
-                WarningKind.UNKNOWN,
-                "could not prove this let total",
-                span,
-            )
+            if result == Result.SAT:
+                self.diag.warn(
+                    WarningKind.LET_MAY_FAIL,
+                    f"let may not be total: {formula}",
+                    span,
+                    counterexample=self._render_counterexample(
+                        model, env, None
+                    ),
+                )
+            elif result == Result.UNKNOWN:
+                self.diag.warn(
+                    WarningKind.UNKNOWN,
+                    "could not prove this let total",
+                    span,
+                )
         return let_f
 
     # ------------------------------------------------------------------

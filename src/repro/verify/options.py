@@ -1,0 +1,133 @@
+"""The consolidated verification configuration: ``VerifyOptions``.
+
+``api.verify`` grew one keyword per PR — budget, cache, jobs,
+cache_dir, incremental, task_timeout — each re-threaded by hand
+through ``verify_parallel`` / ``verify_serial_with_timeout`` /
+``Verifier``.  ``VerifyOptions`` replaces that sprawl with one object
+the drivers consume directly; the legacy keywords remain accepted (and
+tested) on ``api.verify``, which simply folds them into an options
+object.
+
+The fields mirror the legacy keywords exactly (same names, same
+defaults, same semantics — see :func:`repro.api.verify` for the full
+contract), plus the observability additions:
+
+* ``trace`` — a path; the run's span tree is written there as JSONL
+  (see :mod:`repro.obs.sink`).
+* ``tracer`` — an externally-owned :class:`repro.obs.Tracer` to record
+  into instead; the CLI uses this to collect several files under one
+  ``run`` span.  When both are None, tracing is disabled and the
+  pipeline runs with the zero-cost null tracer.
+* ``format`` — output rendering for the CLI (``"text"`` is
+  byte-identical to the historical output; ``"json"`` emits
+  :meth:`~repro.verify.verifier.VerificationReport.to_dict` documents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING
+
+from ..smt.cache import GLOBAL_CACHE, SolverCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Tracer
+
+#: accepted values of ``VerifyOptions.format``
+OUTPUT_FORMATS = ("text", "json")
+
+
+@dataclass
+class VerifyOptions:
+    """Every knob of one verification run, in one picklable-ish bundle.
+
+    (The ``cache`` and ``tracer`` fields hold live objects and do not
+    cross process boundaries; the parallel driver ships workers the
+    derived scalars — ``use_cache``, ``cache_dir``, ``trace_enabled`` —
+    instead.)
+    """
+
+    #: per-query SMT wall-time budget in seconds (None: solver default)
+    budget: float | None = None
+    #: the query cache: the process-wide one, a private SolverCache, or
+    #: None to solve every query from scratch
+    cache: SolverCache | None = GLOBAL_CACHE
+    #: worker processes (int), or "auto" to size from CPUs and tasks
+    jobs: int | str = 1
+    #: persistent disk verdict-cache directory (None: no disk tier)
+    cache_dir: str | None = None
+    #: persistent incremental solver engine vs. rebuild-per-query
+    incremental: bool = True
+    #: wall-clock limit per verification task (method), in seconds
+    task_timeout: float | None = None
+    #: path to write the run's JSONL trace (None: tracing off)
+    trace: str | None = None
+    #: an externally-owned tracer to record into (overrides ``trace``
+    #: file handling; the caller writes the sink)
+    tracer: "Tracer | None" = field(default=None, repr=False)
+    #: CLI output rendering: "text" (historical) or "json"
+    format: str = "text"
+
+    @property
+    def use_cache(self) -> bool:
+        return self.cache is not None
+
+    @property
+    def trace_enabled(self) -> bool:
+        return self.trace is not None or self.tracer is not None
+
+    def replace(self, **changes) -> "VerifyOptions":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range settings."""
+        # budget 0.0 is legal: it starves every query to UNKNOWN, which
+        # the budget-threading tests use to make solving observable
+        if self.budget is not None and self.budget < 0:
+            raise ValueError(
+                f"budget must be non-negative, got {self.budget}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive, got {self.task_timeout}"
+            )
+        if self.jobs != "auto":
+            try:
+                jobs = int(self.jobs)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"jobs must be a positive integer or 'auto', "
+                    f"got {self.jobs!r}"
+                ) from None
+            if jobs < 1:
+                raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if self.format not in OUTPUT_FORMATS:
+            raise ValueError(
+                f"format must be one of {OUTPUT_FORMATS}, got {self.format!r}"
+            )
+
+
+#: the legacy ``api.verify`` keywords that map 1:1 onto option fields
+LEGACY_KWARGS = tuple(
+    f.name for f in fields(VerifyOptions) if f.name not in ("tracer",)
+)
+
+
+def coalesce(
+    options: VerifyOptions | None, legacy: dict
+) -> VerifyOptions:
+    """One options object from an explicit one or legacy keywords.
+
+    Mixing both is rejected loudly: silently preferring one over the
+    other would make ``verify(unit, budget=2, options=opts)`` mean
+    different things to different readers.
+    """
+    if options is None:
+        return VerifyOptions(**legacy)
+    if legacy:
+        raise TypeError(
+            "pass either options=VerifyOptions(...) or the legacy keyword "
+            f"arguments, not both (got both options= and {sorted(legacy)})"
+        )
+    return options

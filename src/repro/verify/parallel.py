@@ -69,6 +69,7 @@ from dataclasses import dataclass, field
 from ..errors import Diagnostics, Warning, WarningKind
 from ..lang.symbols import ProgramTable
 from ..metrics.solver_stats import VerifyStats
+from ..obs import NULL_TRACER, Span, Tracer
 from .faults import active_fault, maybe_fail_task
 from .verifier import (
     VerificationReport,
@@ -87,6 +88,9 @@ class TaskOutcome:
     methods_checked: int = 0
     statements_checked: int = 0
     stats: VerifyStats = field(default_factory=VerifyStats)
+    #: the task's recorded span tree (rooted at its ``task`` span) when
+    #: tracing is on; plain data, so it pickles back from a pool worker
+    trace: Span | None = None
 
 
 class TaskTimeout(Exception):
@@ -153,6 +157,7 @@ def _init_worker(
     cache_dir: str | None,
     incremental: bool = True,
     task_timeout: float | None = None,
+    trace: bool = False,
 ) -> None:
     """Build this worker's table and cache tiers (runs once per process)."""
     _WORKER["table"] = table
@@ -160,6 +165,7 @@ def _init_worker(
     _WORKER["cache"] = build_cache(use_cache, cache_dir)
     _WORKER["incremental"] = incremental
     _WORKER["task_timeout"] = task_timeout
+    _WORKER["trace"] = trace
 
 
 def run_one_task(
@@ -169,35 +175,59 @@ def run_one_task(
     cache,
     incremental: bool,
     task_timeout: float | None,
+    trace: bool = False,
 ) -> TaskOutcome:
     """Verify one task, rebuilding the solver session.
 
     A fresh :class:`Verifier` (and with it a fresh ``SolverSession``)
     is constructed per task; only the caller's query cache persists
-    between tasks, and cached verdicts never change warnings.  A task
+    between tasks, and cached verdicts never change warnings.  When
+    ``trace`` is set the task records its spans under a private
+    :class:`~repro.obs.Tracer` whose single root (the task span) ships
+    back on ``TaskOutcome.trace`` for the parent to re-attach.  A task
     that overruns ``task_timeout`` returns a deterministic timed-out
-    outcome (partial warnings are discarded — how far a deadline lets
-    a task get is scheduler noise); other failures propagate.
+    outcome (partial warnings — and partial spans — are discarded: how
+    far a deadline lets a task get is scheduler noise); other failures
+    propagate.
     """
+    tracer = Tracer() if trace else NULL_TRACER
     verifier = Verifier(
-        table, budget=budget, cache=cache, incremental=incremental
+        table, budget=budget, cache=cache, incremental=incremental,
+        tracer=tracer,
     )
     try:
         with task_deadline(task_timeout):
             maybe_fail_task(task.label)
             verifier.run_task(task)
     except TaskTimeout:
-        return _timed_out_outcome(table, task, task_timeout)
+        return _timed_out_outcome(table, task, task_timeout, trace)
     return TaskOutcome(
         warnings=verifier.diag.warnings,
         methods_checked=verifier.methods_checked,
         statements_checked=verifier.statements_checked,
         stats=verifier.session.stats,
+        trace=tracer.roots[0] if trace and tracer.roots else None,
     )
 
 
+def _degraded_trace(task: VerifyTask, event: str, **attrs) -> Span:
+    """A synthetic task span for a task that never finished normally.
+
+    Replaces whatever partial spans the doomed attempt recorded — like
+    partial warnings, they depend on where the scheduler cut the task
+    off, so a fixed single-span tree keeps degraded traces
+    deterministic.
+    """
+    span = Span("task", task.label, attrs={"kind": task.kind})
+    span.event(event, **attrs)
+    return span
+
+
 def _timed_out_outcome(
-    table: ProgramTable, task: VerifyTask, task_timeout: float | None
+    table: ProgramTable,
+    task: VerifyTask,
+    task_timeout: float | None,
+    trace: bool = False,
 ) -> TaskOutcome:
     """The degraded outcome of a task cut off by its deadline."""
     diag = Diagnostics()
@@ -209,11 +239,19 @@ def _timed_out_outcome(
     )
     stats = VerifyStats()
     stats.tasks_timed_out = 1
-    return TaskOutcome(warnings=diag.warnings, stats=stats)
+    outcome = TaskOutcome(warnings=diag.warnings, stats=stats)
+    if trace:
+        outcome.trace = _degraded_trace(
+            task, "timeout", seconds=task_timeout
+        )
+    return outcome
 
 
 def _failed_outcome(
-    table: ProgramTable, task: VerifyTask, exc: BaseException
+    table: ProgramTable,
+    task: VerifyTask,
+    exc: BaseException,
+    trace: bool = False,
 ) -> TaskOutcome:
     """The degraded outcome of a task that failed its last retry."""
     diag = Diagnostics()
@@ -225,7 +263,12 @@ def _failed_outcome(
     )
     stats = VerifyStats()
     stats.tasks_failed = 1
-    return TaskOutcome(warnings=diag.warnings, stats=stats)
+    outcome = TaskOutcome(warnings=diag.warnings, stats=stats)
+    if trace:
+        outcome.trace = _degraded_trace(
+            task, "failed", error=type(exc).__name__
+        )
+    return outcome
 
 
 def verify_method_task(task: VerifyTask) -> TaskOutcome:
@@ -237,6 +280,7 @@ def verify_method_task(task: VerifyTask) -> TaskOutcome:
         _WORKER["cache"],
         _WORKER.get("incremental", True),
         _WORKER.get("task_timeout"),
+        _WORKER.get("trace", False),
     )
 
 
@@ -359,6 +403,7 @@ def _run_rounds(
     cache_dir: str | None,
     incremental: bool,
     task_timeout: float | None,
+    trace: bool = False,
 ) -> tuple[dict[int, TaskOutcome], int]:
     """The pool rounds plus serial fallback; every task gets an outcome.
 
@@ -366,10 +411,13 @@ def _run_rounds(
     respawns it and retries only the unfinished tasks.  Whatever is
     left after that — and any task that raised inside a worker — runs
     serially in this process, where a final failure degrades to an
-    UNKNOWN-style warning instead of taking the run down.
+    UNKNOWN-style warning instead of taking the run down.  Retried
+    tasks get a ``retry`` event on their task span, so a trace shows
+    which obligations survived a crash.
     """
     outcomes: dict[int, TaskOutcome] = {}
     retried = 0
+    retried_indices: set[int] = set()
     fallback: dict[int, VerifyTask] = {}
     remaining = list(enumerate(tasks))
     for round_number in (1, 2):
@@ -377,6 +425,7 @@ def _run_rounds(
             break
         if round_number == 2:
             retried += len(remaining)
+            retried_indices.update(index for index, _ in remaining)
         pool = ProcessPoolExecutor(
             max_workers=min(jobs, len(remaining)),
             mp_context=_pool_context(),
@@ -388,6 +437,7 @@ def _run_rounds(
                 cache_dir,
                 incremental,
                 task_timeout,
+                trace,
             ),
         )
         try:
@@ -412,14 +462,21 @@ def _run_rounds(
     fallback.update(remaining)
     if fallback:
         retried += len(fallback)
+        retried_indices.update(fallback)
         cache = build_cache(use_cache, cache_dir)
         for index, task in sorted(fallback.items()):
             try:
                 outcomes[index] = run_one_task(
-                    table, task, budget, cache, incremental, task_timeout
+                    table, task, budget, cache, incremental, task_timeout,
+                    trace,
                 )
             except Exception as exc:
-                outcomes[index] = _failed_outcome(table, task, exc)
+                outcomes[index] = _failed_outcome(table, task, exc, trace)
+    if trace:
+        for index in retried_indices:
+            outcome = outcomes.get(index)
+            if outcome is not None and outcome.trace is not None:
+                outcome.trace.event("retry")
     return outcomes, retried
 
 
@@ -429,44 +486,70 @@ def verify_serial_with_timeout(
     cache=None,
     incremental: bool = True,
     task_timeout: float | None = None,
+    tracer=NULL_TRACER,
+    options=None,
 ) -> VerificationReport:
     """The serial driver with per-task deadlines and degradation.
 
     The ``jobs == 1`` analogue of the fault-tolerant pipeline (also its
     in-process fallback semantics): each task runs under the deadline,
-    and a task that raises degrades to an UNKNOWN-style warning.
+    and a task that raises degrades to an UNKNOWN-style warning.  An
+    explicit ``options`` (:class:`repro.api.VerifyOptions`) supplies
+    budget/incremental/task_timeout; ``cache`` stays a direct argument
+    because the caller has already resolved the tiers.
     """
+    if options is not None:
+        budget = options.budget
+        incremental = options.incremental
+        task_timeout = options.task_timeout
     active_fault()  # reject a malformed REPRO_FAULT loudly, up front
     start = time.perf_counter()
+    trace = tracer.enabled
     outcomes: list[TaskOutcome] = []
     for task in iter_tasks(table):
         try:
-            outcomes.append(
-                run_one_task(
-                    table, task, budget, cache, incremental, task_timeout
-                )
+            outcome = run_one_task(
+                table, task, budget, cache, incremental, task_timeout,
+                trace,
             )
         except Exception as exc:
-            outcomes.append(_failed_outcome(table, task, exc))
+            outcome = _failed_outcome(table, task, exc, trace)
+        outcomes.append(outcome)
+        # Each task records under its own private tracer (matching the
+        # worker protocol exactly); adopt its tree in task order.
+        tracer.attach(outcome.trace)
     return merge_outcomes(outcomes, time.perf_counter() - start)
 
 
 def verify_parallel(
     table: ProgramTable,
-    jobs: int | str,
+    jobs: int | str = 1,
     budget: float | None = None,
     use_cache: bool = True,
     cache_dir: str | None = None,
     incremental: bool = True,
     task_timeout: float | None = None,
+    tracer=NULL_TRACER,
+    options=None,
 ) -> VerificationReport:
     """Verify every task of ``table`` on a pool of ``jobs`` processes.
 
     Partial results are always preserved: outcomes are tracked per
     task, merged in deterministic task order exactly as a serial run
     would produce them, whatever crashed, hung, or got retried along
-    the way (see the module docstring for the recovery policy).
+    the way (see the module docstring for the recovery policy).  Worker
+    span trees are re-attached to ``tracer`` in that same task order,
+    so a traced parallel run yields the serial span tree modulo span
+    ids, pids, and timings.  An explicit ``options``
+    (:class:`repro.api.VerifyOptions`) supplies every scalar knob.
     """
+    if options is not None:
+        jobs = options.jobs
+        budget = options.budget
+        use_cache = options.use_cache
+        cache_dir = options.cache_dir
+        incremental = options.incremental
+        task_timeout = options.task_timeout
     active_fault()  # reject a malformed REPRO_FAULT loudly, up front
     tasks = list(iter_tasks(table))
     jobs = resolve_jobs(jobs, len(tasks))
@@ -478,7 +561,8 @@ def verify_parallel(
         cache = build_cache(use_cache, cache_dir)
         if task_timeout is None:
             return Verifier(
-                table, budget=budget, cache=cache, incremental=incremental
+                table, budget=budget, cache=cache, incremental=incremental,
+                tracer=tracer,
             ).run()
         return verify_serial_with_timeout(
             table,
@@ -486,12 +570,16 @@ def verify_parallel(
             cache=cache,
             incremental=incremental,
             task_timeout=task_timeout,
+            tracer=tracer,
         )
     outcomes, retried = _run_rounds(
         table, tasks, jobs, budget, use_cache, cache_dir, incremental,
-        task_timeout,
+        task_timeout, tracer.enabled,
     )
     assert len(outcomes) == len(tasks), "every task must have an outcome"
+    if tracer.enabled:
+        for index in range(len(tasks)):
+            tracer.attach(outcomes[index].trace)
     report = merge_outcomes(
         [outcomes[index] for index in range(len(tasks))],
         time.perf_counter() - start,

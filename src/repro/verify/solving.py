@@ -39,6 +39,7 @@ import time
 from collections import OrderedDict
 
 from ..metrics.solver_stats import VerifyStats
+from ..obs import NULL_TRACER
 from ..smt import Result, Solver
 from ..smt.cache import GLOBAL_CACHE, SolverCache
 from ..smt.plugin import LazyTheoryPlugin
@@ -70,21 +71,27 @@ class SolverSession:
         cache: SolverCache | None = GLOBAL_CACHE,
         stats: VerifyStats | None = None,
         incremental: bool = True,
+        tracer=NULL_TRACER,
     ):
         self.budget = budget
         self.cache = cache
         self.stats = stats
         self.incremental = incremental
+        #: the observability tracer; the zero-cost null one by default
+        self.tracer = tracer
         #: set by the driver around each method; labels the stats rows
         self.method_label = "<toplevel>"
         self._engines: OrderedDict[int, _Engine] = OrderedDict()
 
-    def solver(self, plugin: LazyTheoryPlugin | None = None) -> Solver:
+    def solver(
+        self, plugin: LazyTheoryPlugin | None = None, need_model: bool = False
+    ) -> Solver:
         return Solver(
             plugin,
             cache=self.cache,
             time_budget=self.budget,
             incremental=self.incremental,
+            need_model=need_model,
         )
 
     def check(
@@ -107,22 +114,58 @@ class SolverSession:
                 # single-query solve directly: its model is canonical by
                 # construction, and running the shared engine first would
                 # only repeat the same work (see _model_query).
-                result, model, query_stats = self._model_query(plugin, terms)
+                result, model, query_stats, solver = self._model_query(
+                    plugin, terms
+                )
             else:
-                result, model, query_stats = self._check_incremental(
+                result, model, query_stats, solver = self._check_incremental(
                     plugin, terms
                 )
         else:
-            solver = self.solver(plugin)
+            # ``need_model`` tracks ``want_model``: a verdict-only cache
+            # entry (stored by a shared engine, which keeps no models)
+            # can answer a verdict-only query, but a model query must
+            # treat it as a miss and re-solve — asking the solver for a
+            # model it never had would raise.
+            solver = self.solver(plugin, need_model=want_model)
             for term in terms:
                 solver.add(term)
             result = solver.check()
-            model = solver.model() if result == Result.SAT else None
+            model = (
+                solver.model()
+                if want_model and result == Result.SAT
+                else None
+            )
             query_stats = solver.stats
         elapsed = time.perf_counter() - start
         if self.stats is not None:
             self.stats.record(
                 self.method_label, result.value, elapsed, query_stats
+            )
+        tracer = self.tracer
+        if tracer.enabled:
+            # The observability leaf: verdict, cache-tier outcome,
+            # deepening depth reached, and where the time went.  Guarded
+            # by ``enabled`` so an untraced run never assembles this.
+            tracer.leaf(
+                "query",
+                result.value,
+                start,
+                start + elapsed,
+                {
+                    "verdict": result.value,
+                    "cache": solver.last_cache_tier,
+                    "depth": solver.last_depth,
+                    "passes": query_stats.deepening_passes,
+                    "rounds": query_stats.sat_rounds,
+                    "axioms": query_stats.axioms_asserted,
+                    "conflicts": query_stats.theory_conflicts,
+                    "encode_s": round(query_stats.encode_s, 6),
+                    "sat_s": round(query_stats.sat_s, 6),
+                    "expand_s": round(query_stats.expand_s, 6),
+                    "theory_s": round(query_stats.theory_s, 6),
+                    "validate_s": round(query_stats.validate_s, 6),
+                },
             )
         return result, model
 
@@ -168,7 +211,7 @@ class SolverSession:
         before = solver.stats.snapshot()
         result = solver.check()
         query_stats = solver.stats.delta(before)
-        return result, None, query_stats
+        return result, None, query_stats, solver
 
     def _model_query(self, plugin: LazyTheoryPlugin, terms: list[Term]):
         """Verdict *and* model from a fresh single-query solve.
@@ -195,4 +238,4 @@ class SolverSession:
             solver.add(term)
         result = solver.check()
         model = solver.model() if result == Result.SAT else None
-        return result, model, solver.stats
+        return result, model, solver.stats, solver

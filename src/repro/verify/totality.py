@@ -122,20 +122,24 @@ class TotalityChecker:
             )
             return
         # Assertion (4).
-        result = self._solve(ctx, context + [matches_f, negate(body_f)])
-        if result == Result.SAT:
-            self.diag.warn(
-                WarningKind.TOTALITY,
-                f"{self._label(method, mode)} may fail although its "
-                "matching precondition holds",
-                method.decl.span,
-            )
-        elif result == Result.UNKNOWN:
-            self.diag.warn(
-                WarningKind.UNKNOWN,
-                f"could not decide totality of {self._label(method, mode)}",
-                method.decl.span,
-            )
+        with self.session.tracer.span(
+            "obligation", f"totality of {self._label(method, mode)}"
+        ):
+            result = self._solve(ctx, context + [matches_f, negate(body_f)])
+            if result == Result.SAT:
+                self.diag.warn(
+                    WarningKind.TOTALITY,
+                    f"{self._label(method, mode)} may fail although its "
+                    "matching precondition holds",
+                    method.decl.span,
+                )
+            elif result == Result.UNKNOWN:
+                self.diag.warn(
+                    WarningKind.UNKNOWN,
+                    f"could not decide totality of "
+                    f"{self._label(method, mode)}",
+                    method.decl.span,
+                )
         # Assertion (5).
         if method.decl.ensures is not None:
             post_env = env_after_body[-1] if env_after_body else dict(env)
@@ -151,21 +155,27 @@ class TotalityChecker:
                     method.decl.span,
                 )
                 return
-            result = self._solve(ctx, context + [body_f, negate(ensures_f)])
-            if result == Result.SAT:
-                self.diag.warn(
-                    WarningKind.POSTCONDITION,
-                    f"{self._label(method, mode)} may succeed without "
-                    "establishing its ensures clause",
-                    method.decl.span,
+            with self.session.tracer.span(
+                "obligation",
+                f"postcondition of {self._label(method, mode)}",
+            ):
+                result = self._solve(
+                    ctx, context + [body_f, negate(ensures_f)]
                 )
-            elif result == Result.UNKNOWN:
-                self.diag.warn(
-                    WarningKind.UNKNOWN,
-                    f"could not decide the postcondition of "
-                    f"{self._label(method, mode)}",
-                    method.decl.span,
-                )
+                if result == Result.SAT:
+                    self.diag.warn(
+                        WarningKind.POSTCONDITION,
+                        f"{self._label(method, mode)} may succeed without "
+                        "establishing its ensures clause",
+                        method.decl.span,
+                    )
+                elif result == Result.UNKNOWN:
+                    self.diag.warn(
+                        WarningKind.UNKNOWN,
+                        f"could not decide the postcondition of "
+                        f"{self._label(method, mode)}",
+                        method.decl.span,
+                    )
 
     def _check_abstract(self, method: MethodInfo, mode: Mode) -> None:
         ctx, translator, env, context = self._setup(method, mode)
@@ -182,20 +192,24 @@ class TotalityChecker:
                 method.decl.span,
             )
             return
-        result = self._solve(ctx, context + [matches_f, negate(ensures_f)])
-        if result == Result.SAT:
-            self.diag.warn(
-                WarningKind.POSTCONDITION,
-                f"{self._label(method, mode)}: the postcondition may not "
-                "hold when the matching precondition does",
-                method.decl.span,
-            )
-        elif result == Result.UNKNOWN:
-            self.diag.warn(
-                WarningKind.UNKNOWN,
-                f"could not check specification of {self._label(method, mode)}",
-                method.decl.span,
-            )
+        with self.session.tracer.span(
+            "obligation", f"spec of {self._label(method, mode)}"
+        ):
+            result = self._solve(ctx, context + [matches_f, negate(ensures_f)])
+            if result == Result.SAT:
+                self.diag.warn(
+                    WarningKind.POSTCONDITION,
+                    f"{self._label(method, mode)}: the postcondition may not "
+                    "hold when the matching precondition does",
+                    method.decl.span,
+                )
+            elif result == Result.UNKNOWN:
+                self.diag.warn(
+                    WarningKind.UNKNOWN,
+                    f"could not check specification of "
+                    f"{self._label(method, mode)}",
+                    method.decl.span,
+                )
 
     def _solve(self, ctx: EncodeContext, formulas: list[F]) -> Result:
         result, _ = self.session.check(

@@ -20,6 +20,7 @@ warnings given to the programmer" -- the driver returns a
 from __future__ import annotations
 
 import dataclasses
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -30,6 +31,7 @@ from ..lang.symbols import MethodInfo, ProgramTable
 from ..metrics.solver_stats import VerifyStats
 from ..modes.mode import RESULT
 from ..modes.ordering import declared_vars
+from ..obs import NULL_TRACER
 from ..smt.cache import GLOBAL_CACHE, SolverCache
 from ..smt.terms import scoped_intern_state
 from . import fir
@@ -104,6 +106,10 @@ def task_span(table: ProgramTable, task: VerifyTask):
     return method.decl.span if method is not None else NO_SPAN
 
 
+#: bump when the machine-readable report shape changes incompatibly
+REPORT_SCHEMA_VERSION = 1
+
+
 @dataclass
 class VerificationReport:
     diagnostics: Diagnostics
@@ -119,6 +125,43 @@ class VerificationReport:
     @property
     def clean(self) -> bool:
         return not self.diagnostics.warnings
+
+    # -- machine-readable form -----------------------------------------
+
+    def to_dict(self) -> dict:
+        """The report as a stable, JSON-ready structure.
+
+        Rendered by ``repro verify --format json``; the shape is
+        versioned by ``schema`` so downstream consumers can detect
+        incompatible changes.  Warning order matches the text output;
+        ``warning_counts`` keys are the ``WarningKind`` values present,
+        sorted.
+        """
+        warnings = self.diagnostics.warnings
+        counts: dict[str, int] = {}
+        for warning in warnings:
+            counts[warning.kind.value] = counts.get(warning.kind.value, 0) + 1
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "clean": self.clean,
+            "seconds": self.seconds,
+            "methods_checked": self.methods_checked,
+            "statements_checked": self.statements_checked,
+            "warnings": [w.to_dict() for w in warnings],
+            "warning_counts": dict(sorted(counts.items())),
+            "solver_stats": (
+                None if self.solver_stats is None else self.solver_stats.to_dict()
+            ),
+            "tasks": {
+                "retried": self.tasks_retried,
+                "timed_out": self.tasks_timed_out,
+                "failed": self.tasks_failed,
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """``to_dict()`` serialized; key order is fixed by the schema."""
+        return json.dumps(self.to_dict(), indent=indent)
 
     # -- fault-tolerance accounting (see repro.verify.parallel) --------
 
@@ -145,14 +188,25 @@ class Verifier:
         budget: float | None = None,
         cache: SolverCache | None = GLOBAL_CACHE,
         incremental: bool = True,
+        tracer=NULL_TRACER,
+        options=None,
     ):
+        if options is not None:
+            # The consolidated configuration object (repro.api
+            # .VerifyOptions); budget/incremental come from it, while
+            # ``cache`` stays an explicit argument because the driver
+            # that builds a Verifier has already resolved the tiers.
+            budget = options.budget
+            incremental = options.incremental
         self.table = table
         self.diag = Diagnostics()
+        self.tracer = tracer
         self.session = SolverSession(
             budget=budget,
             cache=cache,
             stats=VerifyStats(),
             incremental=incremental,
+            tracer=tracer,
         )
         self.totality = TotalityChecker(table, self.diag, self.session)
         self.disjointness = DisjointnessChecker(table, self.diag, self.session)
@@ -182,7 +236,9 @@ class Verifier:
         the task runs in this process after a hundred others or alone
         in a parallel worker.
         """
-        with scoped_intern_state():
+        with scoped_intern_state(), self.tracer.span(
+            "task", task.label, kind=task.kind
+        ):
             if task.kind == "invariants":
                 info = self.table.types[task.type_name]
                 for inv in info.invariants:
@@ -294,6 +350,7 @@ class _BodyWalker:
         self.verifier = verifier
         self.table = verifier.table
         self.diag = verifier.diag
+        self.tracer = verifier.tracer
         self.owner = owner
 
     # -- environment assembly ------------------------------------------------
@@ -394,39 +451,45 @@ class _BodyWalker:
             return self._walk_let(expr, stmt.span, scope, path)
         if isinstance(stmt, ast.SwitchStmt):
             self.verifier.statements_checked += 1
-            checker, env, context = self._fresh_context(scope, path)
-            checker.check_switch(stmt, context, env)
-            self._check_disjoint_in(stmt.subject, scope, stmt.span, "switch")
-            for case in stmt.cases:
-                case_scope = dict(scope)
-                case_path = list(path)
-                for pattern in case.patterns:
-                    self._collect_decls(pattern, case_scope)
-                    case_path.append(
-                        ast.Binary("=", stmt.subject, pattern, span=pattern.span)
-                    )
-                    self._check_disjoint_in(
-                        pattern, case_scope, case.span, "case pattern"
-                    )
-                self.walk(case.body, case_scope, case_path)
-            if stmt.default is not None:
-                self.walk(stmt.default, dict(scope), list(path))
+            with self.tracer.span("statement", f"switch@{stmt.span.start}"):
+                checker, env, context = self._fresh_context(scope, path)
+                checker.check_switch(stmt, context, env)
+                self._check_disjoint_in(
+                    stmt.subject, scope, stmt.span, "switch"
+                )
+                for case in stmt.cases:
+                    case_scope = dict(scope)
+                    case_path = list(path)
+                    for pattern in case.patterns:
+                        self._collect_decls(pattern, case_scope)
+                        case_path.append(
+                            ast.Binary(
+                                "=", stmt.subject, pattern, span=pattern.span
+                            )
+                        )
+                        self._check_disjoint_in(
+                            pattern, case_scope, case.span, "case pattern"
+                        )
+                    self.walk(case.body, case_scope, case_path)
+                if stmt.default is not None:
+                    self.walk(stmt.default, dict(scope), list(path))
             return scope, path
         if isinstance(stmt, ast.CondStmt):
             self.verifier.statements_checked += 1
-            checker, env, context = self._fresh_context(scope, path)
-            arms = [arm.formula for arm in stmt.arms]
-            checker.check_cond(
-                arms, stmt.else_body is not None, context, env, stmt.span
-            )
-            for arm in stmt.arms:
-                arm_scope = self._extend_scope(scope, arm.formula)
-                self._check_disjoint_in(
-                    arm.formula, arm_scope, arm.span, "cond arm"
+            with self.tracer.span("statement", f"cond@{stmt.span.start}"):
+                checker, env, context = self._fresh_context(scope, path)
+                arms = [arm.formula for arm in stmt.arms]
+                checker.check_cond(
+                    arms, stmt.else_body is not None, context, env, stmt.span
                 )
-                self.walk(arm.body, arm_scope, path + [arm.formula])
-            if stmt.else_body is not None:
-                self.walk(stmt.else_body, dict(scope), list(path))
+                for arm in stmt.arms:
+                    arm_scope = self._extend_scope(scope, arm.formula)
+                    self._check_disjoint_in(
+                        arm.formula, arm_scope, arm.span, "cond arm"
+                    )
+                    self.walk(arm.body, arm_scope, path + [arm.formula])
+                if stmt.else_body is not None:
+                    self.walk(stmt.else_body, dict(scope), list(path))
             return scope, path
         if isinstance(stmt, ast.IfStmt):
             then_scope = self._extend_scope(scope, stmt.condition)
@@ -446,9 +509,10 @@ class _BodyWalker:
 
     def _walk_let(self, formula, span, scope, path):
         self.verifier.statements_checked += 1
-        checker, env, context = self._fresh_context(scope, path)
-        checker.check_let(formula, context, env, span)
-        self._check_disjoint_in(formula, scope, span, "let")
+        with self.tracer.span("statement", f"let@{span.start}"):
+            checker, env, context = self._fresh_context(scope, path)
+            checker.check_let(formula, context, env, span)
+            self._check_disjoint_in(formula, scope, span, "let")
         scope = self._extend_scope(scope, formula)
         return scope, path + [formula]
 

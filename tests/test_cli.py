@@ -269,3 +269,123 @@ def test_tokens_table(capsys):
     out = capsys.readouterr().out
     assert "ConsList" in out
     assert "average reduction" in out
+
+
+# -- observability flags (--trace, --format, --no-incremental) -----------
+
+
+def test_verify_format_json_emits_one_parseable_document(program, capsys):
+    import json
+
+    path = program(BUGGY)
+    assert main(["verify", path, "--format", "json"]) == 0
+    out = capsys.readouterr().out
+    document = json.loads(out)
+    assert list(document) == ["files"]
+    (entry,) = document["files"]
+    assert entry["path"] == path
+    report = entry["report"]
+    assert report["clean"] is False
+    assert report["warnings"]
+    assert report["warnings"][0]["kind"] == "nonexhaustive"
+    assert report["tasks"] == {"retried": 0, "timed_out": 0, "failed": 0}
+
+
+def test_verify_format_json_multiple_files_and_errors(program, capsys):
+    import json
+
+    broken = program("class {", "broken.jm")
+    buggy = program(BUGGY, "buggy.jm")
+    assert main(["verify", broken, buggy, "--format", "json"]) == 1
+    captured = capsys.readouterr()
+    document = json.loads(captured.out)
+    assert [entry["path"] for entry in document["files"]] == [broken, buggy]
+    assert "error" in document["files"][0]
+    assert "report" in document["files"][1]
+
+
+def test_verify_format_json_matches_text_warnings(program, capsys):
+    import json
+
+    path = program(BUGGY)
+    assert main(["verify", path]) == 0
+    text = capsys.readouterr().out
+    assert main(["verify", path, "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    messages = [w["message"] for w in document["files"][0]["report"]["warnings"]]
+    for message in messages:
+        assert message in text
+
+
+def test_verify_trace_writes_a_valid_jsonl_trace(program, capsys, tmp_path):
+    from repro.obs import read_jsonl, validate_trace_rows
+
+    trace = str(tmp_path / "trace.jsonl")
+    path = program(BUGGY)
+    assert main(["verify", path, "--trace", trace]) == 0
+    capsys.readouterr()
+    rows = read_jsonl(trace)
+    assert validate_trace_rows(rows) == []
+    assert rows[0]["kind"] == "run"
+    assert [r["name"] for r in rows if r["kind"] == "file"] == [path]
+    assert any(r["kind"] == "query" for r in rows)
+
+
+def test_verify_trace_covers_every_file_under_one_run(program, capsys, tmp_path):
+    from repro.obs import read_jsonl, validate_trace_rows
+
+    trace = str(tmp_path / "trace.jsonl")
+    clean = program(CLEAN, "clean.jm")
+    buggy = program(BUGGY, "buggy.jm")
+    assert main(["verify", clean, buggy, "--trace", trace, "--jobs", "2"]) == 0
+    capsys.readouterr()
+    rows = read_jsonl(trace)
+    assert validate_trace_rows(rows) == []
+    assert sum(1 for r in rows if r["kind"] == "run") == 1
+    assert [r["name"] for r in rows if r["kind"] == "file"] == [clean, buggy]
+
+
+def test_verify_trace_does_not_change_text_output(program, capsys, tmp_path):
+    path = program(BUGGY)
+    strip = lambda text: [
+        l for l in text.splitlines() if not l.startswith("checked ")
+    ]
+    assert main(["verify", path]) == 0
+    plain = capsys.readouterr().out
+    assert main(["verify", path, "--trace", str(tmp_path / "t.jsonl")]) == 0
+    traced = capsys.readouterr().out
+    assert strip(plain) == strip(traced)
+
+
+def test_verify_no_incremental_output_matches_default(program, capsys):
+    path = program(BUGGY)
+    strip = lambda text: [
+        l for l in text.splitlines() if not l.startswith("checked ")
+    ]
+    assert main(["verify", path]) == 0
+    incremental = capsys.readouterr().out
+    assert main(["verify", path, "--no-incremental"]) == 0
+    rebuilt = capsys.readouterr().out
+    assert strip(incremental) == strip(rebuilt)
+
+
+def test_verify_no_incremental_reaches_the_session(program, capsys, monkeypatch):
+    """The --no-incremental flag must thread through api.verify (the
+    historical bug: cmd_verify never passed ``incremental`` at all)."""
+    from repro import api as api_module
+
+    seen = {}
+    real_verify = api_module.verify
+
+    def spy(unit, *args, **kwargs):
+        report = real_verify(unit, *args, **kwargs)
+        seen["incremental"] = kwargs["options"].incremental
+        return report
+
+    monkeypatch.setattr(api_module, "verify", spy)
+    assert main(["verify", program(CLEAN), "--no-incremental"]) == 0
+    capsys.readouterr()
+    assert seen["incremental"] is False
+    assert main(["verify", program(CLEAN)]) == 0
+    capsys.readouterr()
+    assert seen["incremental"] is True

@@ -1,0 +1,157 @@
+"""``VerifyOptions`` vs. the legacy keywords, and the JSON report.
+
+The consolidated options object must be a drop-in for the historical
+``api.verify`` keywords: the same configuration expressed either way
+produces byte-identical warnings and counts, mixing the two forms is
+rejected loudly, and out-of-range settings fail fast.  The report's
+machine-readable form (``to_dict``/``to_json``) is exercised here too.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.api import VerifyOptions
+from repro.smt.cache import SolverCache
+from repro.verify.verifier import REPORT_SCHEMA_VERSION
+
+PROGRAM = """
+interface Nat {
+  invariant(this = zero() | succ(_));
+  constructor zero() matches(notall(result)) returns();
+  constructor succ(Nat n) matches(notall(result)) returns(n);
+}
+static int f(Nat n) {
+  switch (n) {
+    case succ(Nat p): return 1;
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return api.compile_program(PROGRAM)
+
+
+def _snapshot(report):
+    return (
+        [str(w) for w in report.diagnostics.warnings],
+        report.methods_checked,
+        report.statements_checked,
+        report.clean,
+    )
+
+
+def test_options_object_equals_legacy_kwargs(unit):
+    legacy = api.verify(unit, budget=2.0, cache=SolverCache(), jobs=1)
+    options = api.verify(
+        unit, options=VerifyOptions(budget=2.0, cache=SolverCache(), jobs=1)
+    )
+    assert _snapshot(legacy) == _snapshot(options)
+
+
+def test_options_object_equals_legacy_kwargs_parallel(unit):
+    legacy = api.verify(unit, jobs=2)
+    options = api.verify(unit, options=VerifyOptions(jobs=2))
+    assert _snapshot(legacy) == _snapshot(options)
+
+
+def test_defaults_are_identical(unit):
+    assert _snapshot(api.verify(unit)) == _snapshot(
+        api.verify(unit, options=VerifyOptions())
+    )
+
+
+def test_mixing_options_and_legacy_kwargs_raises(unit):
+    with pytest.raises(TypeError, match="not both"):
+        api.verify(unit, budget=2.0, options=VerifyOptions())
+
+
+def test_options_fields_mirror_legacy_defaults():
+    from repro.smt.cache import GLOBAL_CACHE
+
+    opts = VerifyOptions()
+    assert opts.budget is None
+    assert opts.cache is GLOBAL_CACHE
+    assert opts.jobs == 1
+    assert opts.cache_dir is None
+    assert opts.incremental is True
+    assert opts.task_timeout is None
+    assert opts.trace is None
+    assert opts.tracer is None
+    assert opts.format == "text"
+    assert opts.use_cache is True
+    assert opts.trace_enabled is False
+
+
+def test_replace_returns_a_modified_copy():
+    opts = VerifyOptions()
+    other = opts.replace(jobs=4)
+    assert other.jobs == 4 and opts.jobs == 1
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"budget": -1.0},
+        {"task_timeout": 0.0},
+        {"jobs": 0},
+        {"jobs": "many"},
+        {"format": "xml"},
+    ],
+)
+def test_validate_rejects_out_of_range_settings(bad):
+    with pytest.raises(ValueError):
+        VerifyOptions(**bad).validate()
+
+
+def test_validate_accepts_auto_jobs_and_zero_budget():
+    VerifyOptions(jobs="auto", budget=0.0).validate()
+
+
+def test_incremental_flag_is_threaded(unit):
+    """The cmd_verify bug: ``incremental`` must actually reach the
+    session (historically the CLI never passed it)."""
+    on = api.verify(unit, options=VerifyOptions(incremental=True))
+    off = api.verify(unit, options=VerifyOptions(incremental=False))
+    assert _snapshot(on) == _snapshot(off)
+
+
+# -- the machine-readable report -----------------------------------------
+
+
+def test_report_to_dict_shape(unit):
+    report = api.verify(unit, cache=SolverCache())
+    data = report.to_dict()
+    assert data["schema"] == REPORT_SCHEMA_VERSION
+    assert data["clean"] is False
+    assert data["methods_checked"] == report.methods_checked
+    assert data["statements_checked"] == report.statements_checked
+    assert data["tasks"] == {"retried": 0, "timed_out": 0, "failed": 0}
+    assert len(data["warnings"]) == len(report.diagnostics.warnings)
+    first = data["warnings"][0]
+    assert set(first) == {
+        "kind", "message", "file", "line", "column",
+        "end_line", "end_column", "counterexample",
+    }
+    assert first["line"] > 0
+    assert sum(data["warning_counts"].values()) == len(data["warnings"])
+    assert data["solver_stats"]["total"]["queries"] > 0
+
+
+def test_report_to_json_roundtrips(unit):
+    report = api.verify(unit, cache=SolverCache())
+    assert json.loads(report.to_json()) == report.to_dict()
+    assert json.loads(report.to_json(indent=2)) == report.to_dict()
+
+
+def test_warning_order_matches_text_output(unit):
+    report = api.verify(unit, cache=SolverCache())
+    texts = [str(w) for w in report.diagnostics.warnings]
+    dicts = report.to_dict()["warnings"]
+    assert [d["message"] for d in dicts] == [
+        w.message for w in report.diagnostics.warnings
+    ]
+    assert len(texts) == len(dicts)
