@@ -19,7 +19,12 @@ configurations and writes the measurements to ``BENCH_verify.json``:
   speedup.  This pair and the cold-cached-vs-no-cache pair are
   measured in CPU time (``time.process_time``), not wall-clock: the
   ratios they pin are tight, and CPU time is immune to the scheduler
-  preemption that dominates wall-clock variance on loaded boxes.
+  preemption that dominates wall-clock variance on loaded boxes;
+* **tiered / smt-only serial** — the same best-of-3 interleaved
+  CPU-time protocol comparing the default ``tier=auto`` pipeline (the
+  syntactic pattern algebra discharges what it can before SMT) against
+  ``tier=smt-only``; the lane also records how many obligations the
+  algebra discharged.
 
 Run it directly (``python benchmarks/bench_verify.py``) to refresh the
 JSON; ``test_bench_verify.py`` asserts the floor the ISSUE demands
@@ -82,6 +87,7 @@ def verify_corpus_cpu(
     cache_dir: str | None,
     use_cache: bool,
     incremental: bool = True,
+    tier: str = "auto",
 ):
     """One full pass; returns (wall seconds, CPU seconds, reports).
 
@@ -102,6 +108,7 @@ def verify_corpus_cpu(
             jobs=jobs,
             cache_dir=cache_dir,
             incremental=incremental,
+            tier=tier,
         )
         for group in GROUPS
     }
@@ -167,6 +174,27 @@ def run_bench(jobs: int = JOBS) -> dict:
             if fromscratch_cpu_s is None or c_scr < fromscratch_cpu_s:
                 fromscratch_cpu_s = c_scr
                 scratch = scratch_reports
+        # The tiered lane: the pattern-algebra first pass (tier=auto,
+        # the default every other lane already runs) against the pure
+        # SMT pipeline (tier=smt-only) on the same cold no-cache serial
+        # workload.  Best-of-3 interleaved CPU samples, like the other
+        # tight ratios; the floor asserts auto is never slower.
+        tier_auto_cpu_s = None
+        tier_smt_only_cpu_s = None
+        tiered = None
+        for _ in range(3):
+            _, c_auto, auto_reports = verify_corpus_cpu(
+                units, 1, None, False, tier="auto"
+            )
+            if tier_auto_cpu_s is None or c_auto < tier_auto_cpu_s:
+                tier_auto_cpu_s = c_auto
+                tiered = auto_reports
+            _, c_smt, smt_only_reports = verify_corpus_cpu(
+                units, 1, None, False, tier="smt-only"
+            )
+            if tier_smt_only_cpu_s is None or c_smt < tier_smt_only_cpu_s:
+                tier_smt_only_cpu_s = c_smt
+                smt_only = smt_only_reports
 
     queries, _, _, warnings = _totals(cold_reports)
     _, warm_hits, warm_misses, _ = _totals(warm_reports)
@@ -176,6 +204,9 @@ def run_bench(jobs: int = JOBS) -> dict:
     tasks_retried = sum(r.tasks_retried for r in par_plain.values())
     tasks_timed_out = sum(r.tasks_timed_out for r in par_plain.values())
     tasks_failed = sum(r.tasks_failed for r in par_plain.values())
+    algebra_discharged = sum(
+        r.solver_stats.algebra_discharged for r in tiered.values()
+    )
     for label, reports in (
         ("warm", warm_reports),
         ("parallel-cold", par_cold),
@@ -183,6 +214,8 @@ def run_bench(jobs: int = JOBS) -> dict:
         ("no-cache", plain),
         ("no-cache-parallel", par_plain),
         ("from-scratch", scratch),
+        ("tier-auto", tiered),
+        ("tier-smt-only", smt_only),
     ):
         got = sum(len(r.diagnostics.warnings) for r in reports.values())
         if got != warnings:
@@ -192,7 +225,7 @@ def run_bench(jobs: int = JOBS) -> dict:
 
     return {
         "benchmark": "bench_verify",
-        "schema_version": 2,
+        "schema_version": 3,
         "date": time.strftime("%Y-%m-%d"),
         "python": platform.python_version(),
         "cpus": usable_cpus(),
@@ -211,6 +244,11 @@ def run_bench(jobs: int = JOBS) -> dict:
         "nocache_serial_cpu_s": round(nocache_cpu_s, 4),
         "incremental_serial_s": round(incremental_cpu_s, 4),
         "fromscratch_serial_s": round(fromscratch_cpu_s, 4),
+        # Tiered lane: pattern-algebra first pass vs pure SMT, cold
+        # serial no-cache CPU time (best-of-3 interleaved).
+        "tier_auto_serial_s": round(tier_auto_cpu_s, 4),
+        "tier_smt_only_serial_s": round(tier_smt_only_cpu_s, 4),
+        "algebra_discharged": algebra_discharged,
         "tasks_retried": tasks_retried,
         "tasks_timed_out": tasks_timed_out,
         "tasks_failed": tasks_failed,
@@ -224,6 +262,9 @@ def run_bench(jobs: int = JOBS) -> dict:
         ),
         "speedup_incremental_vs_fromscratch": round(
             fromscratch_cpu_s / incremental_cpu_s, 2
+        ),
+        "speedup_tiered_vs_smt_only": round(
+            tier_smt_only_cpu_s / tier_auto_cpu_s, 2
         ),
     }
 

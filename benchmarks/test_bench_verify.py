@@ -104,6 +104,26 @@ def test_cached_cold_is_not_slower_than_no_cache(results):
     )
 
 
+def test_tiered_cold_pass_is_not_slower_than_smt_only(results):
+    """The pattern-algebra first pass must pay for itself.
+
+    The algebra is pure syntax (no encoding, no SAT search), so every
+    switch it discharges is an SMT obligation the auto pipeline never
+    runs; the lane asserts the cold serial pass is no slower than
+    ``tier=smt-only`` (1.05x tolerance for residual CPU-time noise)
+    and that the algebra actually fired.
+    """
+    auto = results["tier_auto_serial_s"]
+    smt_only = results["tier_smt_only_serial_s"]
+    assert results["algebra_discharged"] > 0, (
+        "the pattern algebra discharged nothing on the corpus"
+    )
+    assert auto <= smt_only * 1.05, (
+        f"tiered cold run {auto:.3f}s vs smt-only {smt_only:.3f}s: "
+        "the algebra pass is costing more than it saves"
+    )
+
+
 def test_fault_tolerance_is_invisible_on_a_healthy_run(results):
     """The submit-based pipeline must cost nothing when nothing fails.
 
@@ -130,7 +150,11 @@ def test_benchmark_json_is_fresh_and_complete(results):
         "nocache_serial_cpu_s",
         "incremental_serial_s",
         "fromscratch_serial_s",
+        "tier_auto_serial_s",
+        "tier_smt_only_serial_s",
+        "algebra_discharged",
         "speedup_incremental_vs_fromscratch",
+        "speedup_tiered_vs_smt_only",
         "warm_cache_hit_rate",
         "queries_cold",
         "jobs",

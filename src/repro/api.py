@@ -65,6 +65,7 @@ def verify(
     task_timeout: float | None = _UNSET,
     trace: str | None = _UNSET,
     format: str = _UNSET,
+    tier: str = _UNSET,
     *,
     options: VerifyOptions | None = None,
 ) -> VerificationReport:
@@ -126,6 +127,15 @@ def verify(
     :mod:`repro.obs`).  Serial and parallel runs of the same unit
     produce the same tree modulo span ids, pids, and timings.  Leaving
     it off runs the pipeline with the zero-cost null tracer.
+
+    ``tier`` selects the checker tiering (:mod:`repro.verify.tiered`):
+    ``"auto"`` (default) lets the syntactic pattern algebra discharge
+    the obligations it can decide and sends the rest to SMT;
+    ``"smt-only"`` disables the algebra; ``"algebra-only"`` runs just
+    the algebra (a testing tier — obligations it cannot decide are
+    skipped); ``"check"`` runs both on algebra-decidable obligations
+    and raises :class:`~repro.verify.tiered.TierMismatchError` (with
+    the report attached) if their verdicts ever disagree.
     """
     legacy = {
         name: value
@@ -138,6 +148,7 @@ def verify(
             ("task_timeout", task_timeout),
             ("trace", trace),
             ("format", format),
+            ("tier", tier),
         )
         if value is not _UNSET
     }
@@ -158,6 +169,17 @@ def verify(
         if owns_trace:
             tracer.end(run_span)
             write_jsonl(opts.trace, tracer.roots)
+    if opts.tier == "check":
+        mismatches = report.solver_stats.tier_mismatches
+        if mismatches:
+            from .verify.tiered import TierMismatchError
+
+            raise TierMismatchError(
+                f"tier check failed: the pattern algebra and SMT disagreed "
+                f"on {mismatches} obligation(s); see the report's "
+                f"tier-mismatch warnings",
+                report,
+            )
     return report
 
 

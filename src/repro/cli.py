@@ -16,9 +16,11 @@ JSONL (see :mod:`repro.obs`).
 
 Exit status: 0 on success (for ``verify``: even with warnings, since
 verification "only affects warnings given to the programmer"); 1 on
-compile errors (with several files: if any file failed to compile);
-2 on bad usage, including a non-positive ``--budget``, ``--jobs``, or
-``--task-timeout``; 130 when interrupted (Ctrl-C), after cancelling any
+per-file failures — compile errors, unreadable files, or a ``--tier
+check`` disagreement (with several files: if any file failed) — the
+same in text and JSON mode; 2 on bad usage, including a non-positive
+``--budget``, ``--jobs``, or ``--task-timeout`` and invalid option
+combinations; 130 when interrupted (Ctrl-C), after cancelling any
 verification work still queued on the worker pool.
 """
 
@@ -99,7 +101,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         tracer=tracer,
         format=args.format,
+        tier=args.tier,
     )
+    try:
+        options.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from .verify.tiered import TierMismatchError
+
     json_mode = args.format == "json"
     documents: list[dict] = []
     status = 0
@@ -110,15 +120,31 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 print(f"{path}:")
             try:
                 unit = api.compile_program(_read(path), filename=path)
-            except JMatchError as exc:
+            except (OSError, JMatchError) as exc:
+                # Unreadable files and compile errors fail this file the
+                # same way in both output modes: record it, exit 1.
                 print(f"error: {exc}", file=sys.stderr)
                 status = max(status, 1)
                 if json_mode:
                     documents.append({"path": path, "error": str(exc)})
                 continue
-            report = api.verify(unit, options=options)
+            tier_error = None
+            try:
+                report = api.verify(unit, options=options)
+            except TierMismatchError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                status = max(status, 1)
+                tier_error = str(exc)
+                report = exc.report
+            if report is None:
+                if json_mode:
+                    documents.append({"path": path, "error": tier_error})
+                continue
             if json_mode:
-                documents.append({"path": path, "report": report.to_dict()})
+                document = {"path": path, "report": report.to_dict()}
+                if tier_error is not None:
+                    document["error"] = tier_error
+                documents.append(document)
                 continue
             for warning in report.diagnostics.warnings:
                 print(warning)
@@ -245,6 +271,15 @@ def main(argv: list[str] | None = None) -> int:
         "--format", choices=("text", "json"), default="text",
         help="output format: 'text' (default, the historical output) or "
         "'json' (one machine-readable document covering all files)",
+    )
+    p_verify.add_argument(
+        "--tier", choices=("auto", "smt-only", "algebra-only", "check"),
+        default="auto",
+        help="checker tiering: 'auto' (default) lets the syntactic "
+        "pattern algebra discharge what it can before SMT; 'smt-only' "
+        "disables it; 'algebra-only' runs just the algebra; 'check' runs "
+        "both on algebra-decidable obligations and exits 1 on any "
+        "verdict disagreement",
     )
     p_verify.set_defaults(func=cmd_verify)
 

@@ -28,6 +28,11 @@ class QueryStats:
     deepening_passes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: cache_hits split by answering tier (memory LRU vs. disk); a disk
+    #: hit promoted into memory counts as disk for that query, so the
+    #: two always sum to cache_hits
+    cache_memory_hits: int = 0
+    cache_disk_hits: int = 0
     # phase timers (seconds); see SolverStats in repro.smt.solver
     encode_s: float = 0.0
     sat_s: float = 0.0
@@ -51,6 +56,8 @@ class QueryStats:
         self.deepening_passes += solver_stats.deepening_passes
         self.cache_hits += solver_stats.cache_hits
         self.cache_misses += solver_stats.cache_misses
+        self.cache_memory_hits += getattr(solver_stats, "cache_memory_hits", 0)
+        self.cache_disk_hits += getattr(solver_stats, "cache_disk_hits", 0)
         for phase in ("encode_s", "sat_s", "expand_s", "theory_s", "validate_s"):
             setattr(
                 self, phase, getattr(self, phase) + getattr(solver_stats, phase, 0.0)
@@ -75,6 +82,8 @@ class QueryStats:
             "deepening_passes": self.deepening_passes,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_memory_hits": self.cache_memory_hits,
+            "cache_disk_hits": self.cache_disk_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "encode_s": self.encode_s,
             "sat_s": self.sat_s,
@@ -96,6 +105,8 @@ class QueryStats:
         self.deepening_passes += other.deepening_passes
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_memory_hits += other.cache_memory_hits
+        self.cache_disk_hits += other.cache_disk_hits
         self.encode_s += other.encode_s
         self.sat_s += other.sat_s
         self.expand_s += other.expand_s
@@ -117,6 +128,18 @@ class VerifyStats:
     tasks_timed_out: int = 0
     #: obligations degraded to UNKNOWN after exhausting every retry
     tasks_failed: int = 0
+    # -- checker tiering (repro.verify.tiered) ------------------------
+    #: obligations the syntactic pattern-algebra tier decided without an
+    #: SMT query (under ``tier=check`` they are decided *and* re-proved
+    #: by SMT, and still counted here as algebra coverage)
+    algebra_discharged: int = 0
+    #: switch statements the algebra analyzed but handed to SMT anyway
+    #: (non-exhaustive matches fall through so the counterexample comes
+    #: from the model, byte-identical to an smt-only run)
+    algebra_fallbacks: int = 0
+    #: ``tier=check`` disagreements between the two tiers (always 0 on a
+    #: healthy build; ``api.verify`` raises TierMismatchError when not)
+    tier_mismatches: int = 0
 
     def record(
         self, method: str, verdict: str, seconds: float, solver_stats
@@ -142,6 +165,9 @@ class VerifyStats:
         self.tasks_retried += other.tasks_retried
         self.tasks_timed_out += other.tasks_timed_out
         self.tasks_failed += other.tasks_failed
+        self.algebra_discharged += other.algebra_discharged
+        self.algebra_fallbacks += other.algebra_fallbacks
+        self.tier_mismatches += other.tier_mismatches
 
     def to_dict(self) -> dict:
         """The aggregate as a JSON-ready structure (``--format json``).
@@ -159,6 +185,9 @@ class VerifyStats:
             "tasks_retried": self.tasks_retried,
             "tasks_timed_out": self.tasks_timed_out,
             "tasks_failed": self.tasks_failed,
+            "algebra_discharged": self.algebra_discharged,
+            "algebra_fallbacks": self.algebra_fallbacks,
+            "tier_mismatches": self.tier_mismatches,
         }
 
     def format_table(self) -> str:
@@ -188,11 +217,17 @@ class VerifyStats:
         )
         lines.append(
             f"cache hit rate: {t.cache_hit_rate:.1%} "
-            f"({t.cache_hits}/{t.cache_hits + t.cache_misses})"
+            f"({t.cache_hits}/{t.cache_hits + t.cache_misses}; "
+            f"{t.cache_memory_hits} memory, {t.cache_disk_hits} disk)"
         )
         lines.append(
             f"tasks: {self.tasks_retried} retried, "
             f"{self.tasks_timed_out} timed out, {self.tasks_failed} failed"
+        )
+        lines.append(
+            f"tiers: {self.algebra_discharged} obligations discharged by "
+            f"the pattern algebra, {self.algebra_fallbacks} fell back to "
+            f"SMT, {self.tier_mismatches} mismatches"
         )
         return "\n".join(lines)
 

@@ -69,6 +69,12 @@ class SolverStats:
     deepening_passes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: cache_hits split by which tier answered: a disk hit that lookup()
+    #: promotes into the memory LRU is still one *disk* hit for that
+    #: query (only later queries may count it as a memory hit), so the
+    #: two tier counters always sum to cache_hits
+    cache_memory_hits: int = 0
+    cache_disk_hits: int = 0
     #: phase timers (seconds): where solving time actually goes
     encode_s: float = 0.0
     sat_s: float = 0.0
@@ -229,6 +235,10 @@ class Solver:
                     and model is None
                 ):
                     self.stats.cache_hits += 1
+                    if fp.tier == "memory":
+                        self.stats.cache_memory_hits += 1
+                    elif fp.tier == "disk":
+                        self.stats.cache_disk_hits += 1
                     self._model = model
                     return verdict
                 # A verdict-only entry cannot answer a model query:

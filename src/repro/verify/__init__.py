@@ -1,11 +1,16 @@
 """Static verification of exhaustiveness, redundancy, totality, and
 disjointness (Sections 4-6 of the paper)."""
 
-from .options import VerifyOptions
+from .options import TIERS, VerifyOptions
 from .parallel import verify_parallel
+from .tiered import AlgebraDecision, PatternAlgebra, TierMismatchError
 from .verifier import VerificationReport, Verifier, VerifyTask, iter_tasks
 
 __all__ = [
+    "AlgebraDecision",
+    "PatternAlgebra",
+    "TIERS",
+    "TierMismatchError",
     "VerificationReport",
     "Verifier",
     "VerifyOptions",

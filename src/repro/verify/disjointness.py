@@ -49,11 +49,39 @@ def _collect_disjoint_ors(expr: ast.Expr, out: list[ast.PatOr]) -> None:
 
 class DisjointnessChecker:
     def __init__(
-        self, table, diag: Diagnostics, session: SolverSession | None = None
+        self,
+        table,
+        diag: Diagnostics,
+        session: SolverSession | None = None,
+        tier: str = "auto",
     ):
         self.table = table
         self.diag = diag
         self.session = session or SolverSession()
+        self.tier = tier
+        #: one PatternAlgebra per owner (viewer) seen, for the
+        #: structural discharge predicate (see _asserted_by_algebra)
+        self._algebras: dict = {}
+
+    def _asserted_by_algebra(
+        self, node: ast.PatOr, owner: str | None
+    ) -> bool:
+        """Is this ``|`` structurally guaranteed to produce no warning?
+
+        The SMT path below never warns when an arm's translation
+        mentions an abstract constructor predicate (or cannot be
+        translated at all), so such disjunctions are *asserted*, not
+        verified -- the query's verdict cannot matter.  The algebra
+        tier detects that case syntactically and skips the query.
+        """
+        from .tiered import PatternAlgebra
+
+        algebra = self._algebras.get(owner)
+        if algebra is None:
+            algebra = self._algebras[owner] = PatternAlgebra(
+                self.table, owner
+            )
+        return algebra.disjunction_asserted(node, owner)
 
     def check_formula(
         self,
@@ -77,6 +105,22 @@ class DisjointnessChecker:
         span: Span,
         label: str,
     ) -> None:
+        discharged = self.tier not in ("smt-only", "check") and (
+            self._asserted_by_algebra(node, owner)
+        )
+        if discharged:
+            stats = self.session.stats
+            if stats is not None:
+                stats.algebra_discharged += 1
+            if self.session.tracer.enabled:
+                self.session.tracer.leaf(
+                    "obligation",
+                    f"disjointness of `{node}`",
+                    0.0,
+                    0.0,
+                    {"tier": "algebra", "verdict": "asserted"},
+                )
+            return
         ctx = EncodeContext(self.table, viewer=owner)
         translator = Translator(ctx, owner)
         # Knowns shared by both arms; unknowns are renamed apart simply
@@ -94,8 +138,9 @@ class DisjointnessChecker:
             # Arms we cannot translate are not checked; the paper's
             # compiler similarly reports only what it can analyze.
             return
+        warnings_before = len(self.diag.warnings)
         with self.session.tracer.span(
-            "obligation", f"disjointness of `{node}`"
+            "obligation", f"disjointness of `{node}`", tier="smt"
         ):
             result, _ = self.session.check(
                 ctx.plugin, [f.to_term() for f in context + [left, right]]
@@ -108,8 +153,8 @@ class DisjointnessChecker:
                 # "abstraction prevents us from making this guarantee"
                 # (Section 8), so `|` is asserted rather than verified
                 # here.
-                return
-            if result == Result.SAT:
+                pass
+            elif result == Result.SAT:
                 self.diag.warn(
                     WarningKind.NOT_DISJOINT,
                     f"{label}: the arms of `{node}` are not disjoint",
@@ -119,6 +164,21 @@ class DisjointnessChecker:
                 self.diag.warn(
                     WarningKind.UNKNOWN,
                     f"{label}: could not prove `{node}` disjoint",
+                    span,
+                )
+        if self.tier == "check" and self._asserted_by_algebra(node, owner):
+            # The algebra claims this disjunction is structurally
+            # asserted (SMT cannot warn about it); verify that claim.
+            stats = self.session.stats
+            if stats is not None:
+                stats.algebra_discharged += 1
+            if len(self.diag.warnings) != warnings_before:
+                if stats is not None:
+                    stats.tier_mismatches += 1
+                self.diag.warn(
+                    WarningKind.TIER_MISMATCH,
+                    f"tier disagreement on `{node}` (algebra predicted no "
+                    f"disjointness warning, smt warned)",
                     span,
                 )
 

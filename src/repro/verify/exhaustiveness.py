@@ -41,6 +41,14 @@ class CheckOutcome:
     counterexample: str | None = None
     #: per-arm VF translations, for reuse by body walking
     arm_formulas: list[F] = field(default_factory=list)
+    #: per-arm solver outcome, aligned with the desugared arm list:
+    #: "redundant" | "reachable" | "unknown" | "error" (untranslatable)
+    arm_verdicts: list[str] = field(default_factory=list)
+    #: the exhaustiveness obligation's outcome: "exhaustive" |
+    #: "nonexhaustive" | "unknown", or None when an else/default
+    #: suppressed the obligation.  ``tier=check`` compares these (and
+    #: ``arm_verdicts``) against the pattern algebra's decision.
+    exhaustive_verdict: str | None = None
 
 
 class ExhaustivenessChecker:
@@ -87,7 +95,9 @@ class ExhaustivenessChecker:
         translator = self._translator()
         tracer = self.session.tracer
         for index, arm in enumerate(arms):
-            with tracer.span("obligation", f"redundancy of arm {index + 1}"):
+            with tracer.span(
+                "obligation", f"redundancy of arm {index + 1}", tier="smt"
+            ):
                 try:
                     arm_f = translator.vf(arm, dict(env), lambda e: fir.TRUE)
                 except TranslationError as exc:
@@ -98,18 +108,21 @@ class ExhaustivenessChecker:
                         span,
                     )
                     outcome.arm_formulas.append(fir.TRUE)
+                    outcome.arm_verdicts.append("error")
                     outcome.inconclusive = True
                     continue
                 outcome.arm_formulas.append(arm_f)
                 result, _ = self._check(invariant + [arm_f])
                 if result == Result.UNSAT:
                     outcome.redundant_arms.append(index)
+                    outcome.arm_verdicts.append("redundant")
                     self.diag.warn(
                         WarningKind.REDUNDANT_ARM,
                         f"arm {index + 1} is redundant: no value reaches it",
                         span,
                     )
                 elif result == Result.UNKNOWN:
+                    outcome.arm_verdicts.append("unknown")
                     outcome.inconclusive = True
                     self.diag.warn(
                         WarningKind.UNKNOWN,
@@ -117,13 +130,16 @@ class ExhaustivenessChecker:
                         "redundant",
                         span,
                     )
+                else:
+                    outcome.arm_verdicts.append("reachable")
             invariant.append(negate(fir.fresh(arm_f)))
         if has_else:
             return outcome
-        with tracer.span("obligation", "exhaustiveness"):
+        with tracer.span("obligation", "exhaustiveness", tier="smt"):
             result, model = self._check(invariant, want_model=True)
             if result == Result.SAT:
                 outcome.exhaustive = False
+                outcome.exhaustive_verdict = "nonexhaustive"
                 outcome.counterexample = self._render_counterexample(
                     model, env, subject_terms
                 )
@@ -134,6 +150,7 @@ class ExhaustivenessChecker:
                     counterexample=outcome.counterexample,
                 )
             elif result == Result.UNKNOWN:
+                outcome.exhaustive_verdict = "unknown"
                 outcome.inconclusive = True
                 self.diag.warn(
                     WarningKind.UNKNOWN,
@@ -141,6 +158,8 @@ class ExhaustivenessChecker:
                     "may be one (expansion depth exhausted)",
                     span,
                 )
+            else:
+                outcome.exhaustive_verdict = "exhaustive"
         return outcome
 
     def check_switch(
@@ -200,7 +219,7 @@ class ExhaustivenessChecker:
     ) -> F | None:
         """Warn when a let may fail; returns VF[[f]] for context reuse."""
         translator = self._translator()
-        with self.session.tracer.span("obligation", "let-totality"):
+        with self.session.tracer.span("obligation", "let-totality", tier="smt"):
             try:
                 let_f = translator.vf(formula, dict(env), lambda e: fir.TRUE)
             except TranslationError as exc:

@@ -36,6 +36,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: accepted values of ``VerifyOptions.format``
 OUTPUT_FORMATS = ("text", "json")
 
+#: accepted values of ``VerifyOptions.tier`` (see repro.verify.tiered)
+TIERS = ("auto", "smt-only", "algebra-only", "check")
+
 
 @dataclass
 class VerifyOptions:
@@ -67,6 +70,12 @@ class VerifyOptions:
     tracer: "Tracer | None" = field(default=None, repr=False)
     #: CLI output rendering: "text" (historical) or "json"
     format: str = "text"
+    #: checker tiering: "auto" (syntactic pattern algebra first, SMT
+    #: for the rest), "smt-only" (the historical pipeline),
+    #: "algebra-only" (algebra verdicts alone, for testing), or
+    #: "check" (run both on algebra-decidable obligations and fail on
+    #: disagreement -- see :mod:`repro.verify.tiered`)
+    tier: str = "auto"
 
     @property
     def use_cache(self) -> bool:
@@ -105,6 +114,10 @@ class VerifyOptions:
         if self.format not in OUTPUT_FORMATS:
             raise ValueError(
                 f"format must be one of {OUTPUT_FORMATS}, got {self.format!r}"
+            )
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"tier must be one of {TIERS}, got {self.tier!r}"
             )
 
 

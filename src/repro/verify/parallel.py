@@ -158,6 +158,7 @@ def _init_worker(
     incremental: bool = True,
     task_timeout: float | None = None,
     trace: bool = False,
+    tier: str = "auto",
 ) -> None:
     """Build this worker's table and cache tiers (runs once per process)."""
     _WORKER["table"] = table
@@ -166,6 +167,7 @@ def _init_worker(
     _WORKER["incremental"] = incremental
     _WORKER["task_timeout"] = task_timeout
     _WORKER["trace"] = trace
+    _WORKER["tier"] = tier
 
 
 def run_one_task(
@@ -176,6 +178,7 @@ def run_one_task(
     incremental: bool,
     task_timeout: float | None,
     trace: bool = False,
+    tier: str = "auto",
 ) -> TaskOutcome:
     """Verify one task, rebuilding the solver session.
 
@@ -193,7 +196,7 @@ def run_one_task(
     tracer = Tracer() if trace else NULL_TRACER
     verifier = Verifier(
         table, budget=budget, cache=cache, incremental=incremental,
-        tracer=tracer,
+        tracer=tracer, tier=tier,
     )
     try:
         with task_deadline(task_timeout):
@@ -281,6 +284,7 @@ def verify_method_task(task: VerifyTask) -> TaskOutcome:
         _WORKER.get("incremental", True),
         _WORKER.get("task_timeout"),
         _WORKER.get("trace", False),
+        _WORKER.get("tier", "auto"),
     )
 
 
@@ -404,6 +408,7 @@ def _run_rounds(
     incremental: bool,
     task_timeout: float | None,
     trace: bool = False,
+    tier: str = "auto",
 ) -> tuple[dict[int, TaskOutcome], int]:
     """The pool rounds plus serial fallback; every task gets an outcome.
 
@@ -438,6 +443,7 @@ def _run_rounds(
                 incremental,
                 task_timeout,
                 trace,
+                tier,
             ),
         )
         try:
@@ -468,7 +474,7 @@ def _run_rounds(
             try:
                 outcomes[index] = run_one_task(
                     table, task, budget, cache, incremental, task_timeout,
-                    trace,
+                    trace, tier,
                 )
             except Exception as exc:
                 outcomes[index] = _failed_outcome(table, task, exc, trace)
@@ -488,6 +494,7 @@ def verify_serial_with_timeout(
     task_timeout: float | None = None,
     tracer=NULL_TRACER,
     options=None,
+    tier: str = "auto",
 ) -> VerificationReport:
     """The serial driver with per-task deadlines and degradation.
 
@@ -502,6 +509,7 @@ def verify_serial_with_timeout(
         budget = options.budget
         incremental = options.incremental
         task_timeout = options.task_timeout
+        tier = options.tier
     active_fault()  # reject a malformed REPRO_FAULT loudly, up front
     start = time.perf_counter()
     trace = tracer.enabled
@@ -510,7 +518,7 @@ def verify_serial_with_timeout(
         try:
             outcome = run_one_task(
                 table, task, budget, cache, incremental, task_timeout,
-                trace,
+                trace, tier,
             )
         except Exception as exc:
             outcome = _failed_outcome(table, task, exc, trace)
@@ -531,6 +539,7 @@ def verify_parallel(
     task_timeout: float | None = None,
     tracer=NULL_TRACER,
     options=None,
+    tier: str = "auto",
 ) -> VerificationReport:
     """Verify every task of ``table`` on a pool of ``jobs`` processes.
 
@@ -550,6 +559,7 @@ def verify_parallel(
         cache_dir = options.cache_dir
         incremental = options.incremental
         task_timeout = options.task_timeout
+        tier = options.tier
     active_fault()  # reject a malformed REPRO_FAULT loudly, up front
     tasks = list(iter_tasks(table))
     jobs = resolve_jobs(jobs, len(tasks))
@@ -562,7 +572,7 @@ def verify_parallel(
         if task_timeout is None:
             return Verifier(
                 table, budget=budget, cache=cache, incremental=incremental,
-                tracer=tracer,
+                tracer=tracer, tier=tier,
             ).run()
         return verify_serial_with_timeout(
             table,
@@ -571,10 +581,11 @@ def verify_parallel(
             incremental=incremental,
             task_timeout=task_timeout,
             tracer=tracer,
+            tier=tier,
         )
     outcomes, retried = _run_rounds(
         table, tasks, jobs, budget, use_cache, cache_dir, incremental,
-        task_timeout, tracer.enabled,
+        task_timeout, tracer.enabled, tier,
     )
     assert len(outcomes) == len(tasks), "every task must have an outcome"
     if tracer.enabled:

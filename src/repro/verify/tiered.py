@@ -1,0 +1,666 @@
+"""The pre-SMT pattern-algebra tier (ROADMAP open item 2).
+
+Most ``switch`` exhaustiveness/redundancy obligations in the corpus
+range over plain constructor patterns: no ``where`` refinements, no
+arithmetic, no equality constructors.  Over a *sealed* type -- one
+whose visible invariants pin every value to a finite constructor
+signature, like ``invariant(this = zero() | succ(_))`` -- those
+obligations are decidable purely syntactically by the classic
+usefulness-matrix algorithm (Maranget-style constructor splitting with
+wildcard defaults, tuple and nested-pattern expansion, or-pattern
+flattening).  This module implements that first tier; anything it
+cannot decide falls through to the SMT pipeline untouched.
+
+Alignment with the SMT tier is the design constraint, not an
+afterthought: an obligation is only *eligible* here when the free-
+term-algebra reading provably coincides with the F-translation's
+semantics.  Concretely:
+
+* the subject must be a plain variable (or tuple of variables) of a
+  declared type, with no path conditions in scope -- path conditions
+  can change both redundancy and exhaustiveness;
+* every column type must be *algebra-safe*: its visible invariants are
+  either empty or exactly one sealing invariant
+  ``this = C1(..) | C2(..) | ...`` whose alternatives resolve to
+  abstract named constructors.  A type with other visible invariants
+  (class-listing, arithmetic refinements) can make SMT prove more arms
+  redundant than the free algebra, so it poisons the statement;
+* constructor patterns must resolve -- through the same unqualified-
+  call resolution and canonicalisation the translator uses -- to an
+  *abstract* constructor with no ``ensures``, a ``matches`` clause
+  that is absent or opaque (``notall``), and a non-iterative mode
+  binding every parameter.  Iterative modes produce fresh existential
+  outputs rather than unique skolem functions, which breaks the
+  functional reading redundancy alignment depends on;
+* variable patterns must be fresh (a name already in scope, or bound
+  twice in one arm, is an equality constraint -- SMT territory);
+  ``T x`` declarations are irrefutable only when the column type is a
+  subtype of ``T``.
+
+When the algebra concludes NON-exhaustive, the driver still falls
+through to SMT in ``auto`` mode, so the model-based counterexample in
+the warning stays byte-identical to an smt-only run; the algebra's own
+witness rendering is used by the ``algebra-only`` testing tier.
+
+Disjointness obligations get a narrower treatment: the SMT checker
+never warns about a ``|`` whose overlap witness involves an abstract
+constructor predicate ("abstraction prevents us from making this
+guarantee", Section 8) -- and it never warns about an arm it cannot
+translate either.  So any disjunction in which some unqualified call
+resolves to an abstract canonical method is *structurally guaranteed*
+to produce no warning, whatever the solver would answer; the algebra
+discharges exactly those without a query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import ast
+from ..lang.symbols import MethodInfo, ProgramTable
+from ..modes.ordering import SolvabilityContext
+from .options import TIERS
+
+__all__ = [
+    "TIERS",
+    "AlgebraDecision",
+    "PatternAlgebra",
+    "PCtor",
+    "POr",
+    "PWild",
+    "Signature",
+    "TierMismatchError",
+]
+
+
+class TierMismatchError(Exception):
+    """``--tier check`` found the algebra and SMT tiers disagreeing.
+
+    Raised by :func:`repro.api.verify` after the run completes (so the
+    report -- including the per-statement mismatch warnings -- is fully
+    assembled and merged across workers first).  A mismatch is an
+    internal consistency failure of the verifier, never a property of
+    the program under verification.  The completed report rides along
+    on ``.report`` so callers (the CLI) can still render its warnings.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class _Ineligible(Exception):
+    """This construct is outside the algebra's aligned fragment."""
+
+
+# ---------------------------------------------------------------------------
+# pattern skeletons
+
+
+@dataclass(frozen=True)
+class PWild:
+    """Matches anything: ``_``, a fresh binder, an irrefutable ``T x``."""
+
+    def render(self) -> str:
+        return "_"
+
+
+@dataclass(frozen=True)
+class PCtor:
+    """A constructor pattern with lowered argument patterns."""
+
+    name: str
+    args: tuple = ()
+    #: declared parameter types of the canonical constructor, one per
+    #: argument column produced by specialization
+    arg_types: tuple = ()
+
+    def render(self) -> str:
+        if not self.args:
+            return f"{self.name}()"
+        return f"{self.name}({', '.join(a.render() for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class POr:
+    """A (nested) or-pattern; alternatives are already flattened."""
+
+    alts: tuple = ()
+
+    def render(self) -> str:
+        return " | ".join(a.render() for a in self.alts)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The finite constructor signature of one sealed type."""
+
+    type_name: str
+    #: constructor name -> parameter types (the argument column types)
+    ctors: dict
+
+
+@dataclass
+class AlgebraDecision:
+    """What the algebra concluded about one switch statement."""
+
+    #: number of desugared arms (one per case-label pattern)
+    arms: int = 0
+    #: 0-based indices of arms no value can reach
+    redundant: list = field(default_factory=list)
+    #: True/False, or None when a ``default`` suppresses the obligation
+    exhaustive: bool | None = None
+    #: per-column skeletons of an unmatched value (non-exhaustive only)
+    witness: list = field(default_factory=list)
+    #: subject column names, for witness rendering
+    columns: list = field(default_factory=list)
+
+    @property
+    def obligations(self) -> int:
+        """How many SMT obligations this decision replaces."""
+        return self.arms + (0 if self.exhaustive is None else 1)
+
+    def render_witness(self) -> str | None:
+        if not self.witness:
+            return None
+        parts = [
+            f"{name} = {pat}"
+            for name, pat in zip(self.columns, self.witness)
+        ]
+        return "; ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+
+
+class PatternAlgebra:
+    """The syntactic tier for one (table, viewer) verification context."""
+
+    def __init__(self, table: ProgramTable, viewer: str | None):
+        self.table = table
+        self.viewer = viewer
+        self._resolver = SolvabilityContext(table, viewer)
+        #: memoized per type name: Signature, None (open), or the
+        #: _UNSAFE marker for unsafe invariant shapes
+        self._signatures: dict = {}
+
+    # -- constructor resolution ----------------------------------------
+
+    def _canonical(self, method: MethodInfo) -> MethodInfo:
+        """Mirror ``EncodeContext.canonical``: the highest declaration."""
+        if not method.owner:
+            return method
+        best = method
+        for ancestor in reversed(self.table.supertypes(method.owner)):
+            info = self.table.types.get(ancestor)
+            if info is not None and method.name in info.methods:
+                candidate = info.methods[method.name]
+                if len(candidate.params) == len(method.params):
+                    best = candidate
+                    break
+        return best
+
+    def _resolve_pattern_ctor(
+        self, call: ast.Call, owner: str | None = None
+    ) -> MethodInfo | None:
+        """The canonical constructor a pattern call translates through.
+
+        Mirrors ``Translator._resolve`` for receiver-less, qualifier-
+        less calls followed by canonicalisation, so the algebra reasons
+        about exactly the success predicate the SMT tier would use.
+        Returns None when the call resolves elsewhere (function, method
+        with a receiver convention) or to nothing.
+        """
+        if call.receiver is not None or call.qualifier is not None:
+            return None
+        resolver = (
+            self._resolver
+            if owner is None or owner == self.viewer
+            else SolvabilityContext(self.table, owner)
+        )
+        method = resolver.lookup(call)
+        if method is None or not method.owner:
+            return None
+        return self._canonical(method)
+
+    def _eligible_ctor(self, canonical: MethodInfo, arity: int) -> bool:
+        """Is this constructor inside the aligned free-algebra fragment?"""
+        decl = canonical.decl
+        if canonical.kind != "constructor":
+            return False
+        if not canonical.abstract:
+            # A concrete canonical body introduces real axioms the free
+            # algebra cannot see (e.g. ``PZero.succ(n) ( false )``).
+            return False
+        if len(canonical.params) != arity:
+            return False
+        if decl.ensures is not None:
+            return False
+        if decl.matches is not None and not isinstance(
+            decl.matches, ast.NotAll
+        ):
+            return False
+        wanted = frozenset(canonical.param_names)
+        return any(
+            not mode.iterative and mode.unknowns == wanted
+            for mode in canonical.modes()
+        )
+
+    # -- sealed-type signatures ----------------------------------------
+
+    def signature(self, type_name: str) -> Signature | None:
+        """The sealed constructor signature of ``type_name``, if any.
+
+        Raises :class:`_Ineligible` when the type's visible invariants
+        exist but do not form exactly one clean sealing invariant --
+        such invariants give the SMT tier knowledge the free algebra
+        lacks, so the whole column must fall through.
+        """
+        if type_name in self._signatures:
+            cached = self._signatures[type_name]
+            if cached is _UNSAFE:
+                raise _Ineligible(type_name)
+            return cached
+        result = self._extract_signature(type_name)
+        self._signatures[type_name] = _UNSAFE if result is _UNSAFE else result
+        if result is _UNSAFE:
+            raise _Ineligible(type_name)
+        return result
+
+    def _extract_signature(self, type_name: str):
+        info = self.table.types.get(type_name)
+        if info is None or info.decl is None:
+            # Unknown/builtin object types: open, but safe (the SMT
+            # context has no invariants for them either).
+            return None
+        invariants = self.table.invariants_visible_from(
+            type_name, self.viewer
+        )
+        if not invariants:
+            return None
+        if len(invariants) != 1:
+            return _UNSAFE
+        declaring, inv = invariants[0]
+        ctors = self._sealing_alternatives(inv.formula, declaring)
+        if ctors is None:
+            return _UNSAFE
+        return Signature(type_name, ctors)
+
+    def _sealing_alternatives(self, formula: ast.Expr, declaring: str):
+        """Parse ``this = C1(..) | C2(..) | ...`` into a signature.
+
+        Precedence makes that source parse as
+        ``(this = C1(..)) | C2(..) | ...``, and the translator matches
+        a bare constructor-call disjunct against ``this`` (see
+        ``Translator._vf_call``), so both ``this = C(..)`` and a bare
+        ``C(..)`` alternative mean "``this`` matches ``C``".
+        Alternatives resolve with the declaring type as owner -- the
+        environment the invariant's own translation runs in -- and each
+        must be an eligible abstract constructor applied to irrefutable
+        placeholders.  Returns None for any other invariant shape.
+        """
+        alternatives: list[ast.Call] = []
+        stack = [formula]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.PatOr):
+                stack.append(node.left)
+                stack.append(node.right)
+            elif (
+                isinstance(node, ast.Binary)
+                and node.op == "="
+                and isinstance(node.left, ast.Var)
+                and node.left.name == "this"
+            ):
+                stack.append(node.right)
+            elif isinstance(node, ast.Call):
+                alternatives.append(node)
+            else:
+                return None
+        ctors: dict = {}
+        for call in alternatives:
+            canonical = self._resolve_pattern_ctor(call, owner=declaring)
+            if canonical is None:
+                return None
+            if not self._eligible_ctor(canonical, len(call.args)):
+                return None
+            for arg in call.args:
+                if not isinstance(arg, (ast.Wildcard, ast.Var, ast.VarDecl)):
+                    return None
+            key = f"{canonical.owner}.{canonical.name}"
+            if key in ctors:
+                return None
+            ctors[key] = (
+                canonical.name,
+                tuple(param.type for param in canonical.params),
+            )
+        return ctors
+
+    # -- pattern lowering ----------------------------------------------
+
+    def _lower(
+        self,
+        pattern: ast.Expr,
+        col_type: ast.Type | None,
+        bound: set,
+        env_names: frozenset,
+    ):
+        """One source pattern against one column, as a skeleton.
+
+        Raises :class:`_Ineligible` for anything outside the fragment.
+        """
+        if isinstance(pattern, ast.Wildcard):
+            return PWild()
+        if isinstance(pattern, ast.Var):
+            if pattern.name in env_names or pattern.name in bound:
+                raise _Ineligible("equality test")  # `x` already bound
+            bound.add(pattern.name)
+            return PWild()
+        if isinstance(pattern, ast.VarDecl):
+            if pattern.name is not None:
+                if pattern.name in env_names or pattern.name in bound:
+                    raise _Ineligible("shadowing declaration")
+                bound.add(pattern.name)
+            if col_type is None or not self.table.is_subtype(
+                col_type, pattern.type
+            ):
+                # A strict (or unknown) type test is refutable.
+                raise _Ineligible("refutable type test")
+            return PWild()
+        if isinstance(pattern, ast.PatOr):
+            alts: list = []
+            for side in (pattern.left, pattern.right):
+                lowered = self._lower(side, col_type, bound, env_names)
+                if isinstance(lowered, POr):
+                    alts.extend(lowered.alts)
+                else:
+                    alts.append(lowered)
+            return POr(tuple(alts))
+        if isinstance(pattern, ast.Call):
+            return self._lower_ctor(pattern, col_type, bound, env_names)
+        raise _Ineligible(f"pattern {type(pattern).__name__}")
+
+    def _lower_ctor(
+        self,
+        call: ast.Call,
+        col_type: ast.Type | None,
+        bound: set,
+        env_names: frozenset,
+    ) -> PCtor:
+        if col_type is None or col_type.is_primitive or col_type.is_tuple:
+            raise _Ineligible("constructor pattern on untyped column")
+        canonical = self._resolve_pattern_ctor(call)
+        if canonical is None or not self._eligible_ctor(
+            canonical, len(call.args)
+        ):
+            raise _Ineligible("ineligible constructor")
+        key = f"{canonical.owner}.{canonical.name}"
+        sig = self.signature(col_type.name)  # may raise _Ineligible
+        if sig is not None and key not in sig.ctors:
+            # A sealed column's invariant can refute constructors
+            # outside its signature -- knowledge the free algebra
+            # cannot replicate.
+            raise _Ineligible("constructor outside the sealing invariant")
+        arg_types = tuple(param.type for param in canonical.params)
+        for arg_type in arg_types:
+            self._check_column_safety(arg_type)
+        args = tuple(
+            self._lower(arg, arg_type, bound, env_names)
+            for arg, arg_type in zip(call.args, arg_types)
+        )
+        return PCtor(key, args, arg_types)
+
+    def _check_column_safety(self, col_type: ast.Type | None) -> None:
+        """Columns of types with non-sealing invariants are unsafe even
+        under wildcards (the invariant could refute a later arm)."""
+        if col_type is None:
+            raise _Ineligible("untyped column")
+        if col_type.is_primitive or col_type.is_tuple:
+            return
+        self.signature(col_type.name)  # raises _Ineligible when unsafe
+
+    # -- the usefulness matrix -----------------------------------------
+
+    def _head_ctors(self, pat) -> set:
+        if isinstance(pat, PCtor):
+            return {pat.name}
+        if isinstance(pat, POr):
+            out: set = set()
+            for alt in pat.alts:
+                out |= self._head_ctors(alt)
+            return out
+        return set()
+
+    def _specialize(self, rows: list, name: str, arity: int) -> list:
+        """S(c, P): rows as seen after the subject splits on ``c``."""
+        out: list = []
+        for row in rows:
+            head, rest = row[0], row[1:]
+            if isinstance(head, PWild):
+                out.append([PWild()] * arity + rest)
+            elif isinstance(head, PCtor):
+                if head.name == name:
+                    out.append(list(head.args) + rest)
+            elif isinstance(head, POr):
+                for alt in head.alts:
+                    out.extend(self._specialize([[alt] + rest], name, arity))
+        return out
+
+    def _default(self, rows: list) -> list:
+        """D(P): rows still live when the subject matches no listed ctor."""
+        out: list = []
+        for row in rows:
+            head, rest = row[0], row[1:]
+            if isinstance(head, PWild):
+                out.append(rest)
+            elif isinstance(head, POr):
+                for alt in head.alts:
+                    out.extend(self._default([[alt] + rest]))
+        return out
+
+    def _useful(self, rows: list, q: list, types: list):
+        """A witness vector matched by ``q`` but no row, or None.
+
+        The returned witness covers exactly ``len(q)`` columns as
+        rendered skeletons (:class:`PWild`/:class:`PCtor`).
+        """
+        if not q:
+            return None if rows else []
+        head, rest = q[0], q[1:]
+        if isinstance(head, POr):
+            for alt in head.alts:
+                witness = self._useful(rows, [alt] + rest, types)
+                if witness is not None:
+                    return witness
+            return None
+        if isinstance(head, PCtor):
+            arity = len(head.args)
+            witness = self._useful(
+                self._specialize(rows, head.name, arity),
+                list(head.args) + rest,
+                list(head.arg_types) + types[1:],
+            )
+            if witness is None:
+                return None
+            return [self._fold_ctor(head, witness[:arity])] + witness[arity:]
+        # Wildcard head: split on a complete signature, else default.
+        sig = self._column_signature(types[0])
+        heads: set = set()
+        for row in rows:
+            heads |= self._head_ctors(row[0])
+        if sig is not None and set(sig.ctors) <= heads:
+            for key, (_, arg_types) in sig.ctors.items():
+                arity = len(arg_types)
+                skeleton = PCtor(key, tuple([PWild()] * arity), arg_types)
+                witness = self._useful(
+                    self._specialize(rows, key, arity),
+                    [PWild()] * arity + rest,
+                    list(arg_types) + types[1:],
+                )
+                if witness is not None:
+                    return [
+                        self._fold_ctor(skeleton, witness[:arity])
+                    ] + witness[arity:]
+            return None
+        witness = self._useful(self._default(rows), rest, types[1:])
+        if witness is None:
+            return None
+        missing = PWild()
+        if sig is not None:
+            for key, (_, arg_types) in sig.ctors.items():
+                if key not in heads:
+                    missing = PCtor(
+                        key, tuple([PWild()] * len(arg_types)), arg_types
+                    )
+                    break
+        return [missing] + witness
+
+    def _fold_ctor(self, skeleton: PCtor, args: list) -> PCtor:
+        return PCtor(skeleton.name, tuple(args), skeleton.arg_types)
+
+    def _column_signature(self, col_type) -> Signature | None:
+        if (
+            col_type is None
+            or col_type.is_primitive
+            or col_type.is_tuple
+        ):
+            return None
+        return self.signature(col_type.name)
+
+    # -- statement-level entry points ----------------------------------
+
+    def analyze_switch(
+        self,
+        stmt: ast.SwitchStmt,
+        scope: dict,
+        path: list,
+    ) -> AlgebraDecision | None:
+        """Decide one switch statement, or None when ineligible.
+
+        ``scope`` is the walker's name->type map; ``path`` the active
+        path conditions (any make the statement ineligible: they
+        constrain the subject in ways only the SMT context sees).
+        """
+        try:
+            return self._analyze_switch(stmt, scope, path)
+        except _Ineligible:
+            return None
+
+    def _analyze_switch(self, stmt, scope, path):
+        if path:
+            raise _Ineligible("path conditions in scope")
+        columns: list[tuple[str, ast.Type | None]] = []
+        subject = stmt.subject
+        items = subject.items if isinstance(subject, ast.TupleExpr) else [subject]
+        for item in items:
+            if not (isinstance(item, ast.Var) and item.name in scope):
+                raise _Ineligible("subject is not a scoped variable")
+            columns.append((item.name, scope[item.name]))
+        col_types = [type_ for _, type_ in columns]
+        for col_type in col_types:
+            self._check_column_safety(col_type)
+        env_names = frozenset(scope)
+        width = len(columns)
+        arm_rows: list[list] = []
+        for case in stmt.cases:
+            for pattern in case.patterns:
+                arm_rows.append(
+                    self._lower_arm(pattern, col_types, width, env_names)
+                )
+        decision = AlgebraDecision(
+            arms=len(arm_rows),
+            columns=[name for name, _ in columns],
+            exhaustive=None,
+        )
+        matrix: list = []
+        for index, rows in enumerate(arm_rows):
+            useful = any(
+                self._useful(matrix, row, list(col_types)) is not None
+                for row in rows
+            )
+            if not useful:
+                decision.redundant.append(index)
+            # The SMT invariant accumulates every arm's negation,
+            # redundant or not; mirror that.
+            matrix.extend(rows)
+        if stmt.default is None:
+            witness = self._useful(
+                matrix, [PWild()] * width, list(col_types)
+            )
+            decision.exhaustive = witness is None
+            if witness is not None:
+                decision.witness = [pat.render() for pat in witness]
+        return decision
+
+    def _lower_arm(self, pattern, col_types, width, env_names) -> list:
+        """One case-label pattern as matrix rows (top-level ors split)."""
+        bound: set = set()
+        if isinstance(pattern, ast.PatOr) and width > 1:
+            rows: list = []
+            for side in (pattern.left, pattern.right):
+                rows.extend(
+                    self._lower_arm(side, col_types, width, env_names)
+                )
+            return rows
+        if width == 1:
+            return [[self._lower(pattern, col_types[0], bound, env_names)]]
+        if isinstance(pattern, ast.Wildcard):
+            return [[PWild()] * width]
+        if isinstance(pattern, ast.Var):
+            if pattern.name in env_names:
+                raise _Ineligible("equality test on tuple subject")
+            return [[PWild()] * width]
+        if isinstance(pattern, ast.TupleExpr):
+            if len(pattern.items) != width:
+                raise _Ineligible("tuple arity mismatch")
+            return [
+                [
+                    self._lower(item, col_type, bound, env_names)
+                    for item, col_type in zip(pattern.items, col_types)
+                ]
+            ]
+        raise _Ineligible("non-tuple pattern on tuple subject")
+
+    # -- disjointness --------------------------------------------------
+
+    def disjunction_asserted(self, node: ast.PatOr, owner: str | None) -> bool:
+        """True when SMT provably emits no warning for this ``|``.
+
+        The disjointness checker skips any obligation whose translated
+        arms mention an abstract constructor predicate (and any it
+        cannot translate at all), so a disjunction in which some
+        unqualified call resolves to an abstract canonical method can
+        never warn -- whatever the solver verdict.  Only a structural
+        guarantee discharges; "probably fine" falls through.
+        """
+        return self._mentions_abstract(node.left, owner) or (
+            self._mentions_abstract(node.right, owner)
+        )
+
+    def _mentions_abstract(self, expr: ast.Expr, owner: str | None) -> bool:
+        stack: list = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Call):
+                if node.receiver is None and node.qualifier is None:
+                    canonical = self._resolve_pattern_ctor(node, owner=owner)
+                    if canonical is not None and canonical.abstract:
+                        return True
+                stack.extend(node.args)
+                if node.receiver is not None:
+                    stack.append(node.receiver)
+            elif isinstance(node, (ast.Binary, ast.PatOr, ast.PatAnd)):
+                stack.append(node.left)
+                stack.append(node.right)
+            elif isinstance(node, ast.Not):
+                stack.append(node.operand)
+            elif isinstance(node, ast.Where):
+                stack.append(node.pattern)
+                stack.append(node.condition)
+            elif isinstance(node, ast.TupleExpr):
+                stack.extend(node.items)
+        return False
+
+
+#: sentinel for memoized "type with unsafe invariants"
+_UNSAFE = object()

@@ -389,3 +389,138 @@ def test_verify_no_incremental_reaches_the_session(program, capsys, monkeypatch)
     assert main(["verify", program(CLEAN)]) == 0
     capsys.readouterr()
     assert seen["incremental"] is True
+
+# -- exit-status matrix, JSON stats round-trip, and --tier ----------------
+
+
+@pytest.mark.parametrize("format_flag", ["text", "json"])
+def test_exit_status_matrix_pass(program, capsys, format_flag):
+    assert main(["verify", program(CLEAN), "--format", format_flag]) == 0
+    capsys.readouterr()
+
+
+@pytest.mark.parametrize("format_flag", ["text", "json"])
+def test_exit_status_matrix_compile_failure(program, capsys, format_flag):
+    assert main(["verify", program("class {"), "--format", format_flag]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("format_flag", ["text", "json"])
+def test_exit_status_matrix_invalid_flag(program, capsys, format_flag):
+    # Usage errors exit 2 before any file is read, in both modes.
+    args = ["verify", program(CLEAN), "--format", format_flag]
+    assert main(args + ["--budget", "-1"]) == 2
+    capsys.readouterr()
+    assert main(args + ["--jobs", "0"]) == 2
+    capsys.readouterr()
+
+
+@pytest.mark.parametrize("format_flag", ["text", "json"])
+def test_exit_status_matrix_unreadable_file(program, capsys, tmp_path, format_flag):
+    # A path that cannot be opened fails that file (exit 1) the same
+    # way a compile error does, in both output modes.
+    missing = str(tmp_path / "no-such-file.jm")
+    clean = program(CLEAN, "clean.jm")
+    assert main(["verify", missing, clean, "--format", format_flag]) == 1
+    captured = capsys.readouterr()
+    assert "error" in captured.err
+    if format_flag == "json":
+        import json
+
+        document = json.loads(captured.out)
+        assert [e["path"] for e in document["files"]] == [missing, clean]
+        assert "error" in document["files"][0]
+        assert "report" in document["files"][1]
+    else:
+        # The clean file is still verified after the unreadable one.
+        assert "0 warnings" in captured.out
+
+
+def test_verify_format_json_embeds_solver_stats_and_profile(program, capsys):
+    """Regression: --format json used to drop the --stats/--profile
+    blocks entirely; the document must round-trip every counter the
+    text tables render."""
+    import json
+
+    path = program(BUGGY)
+    assert main(
+        ["verify", path, "--format", "json", "--stats", "--profile"]
+    ) == 0
+    document = json.loads(capsys.readouterr().out)
+    (entry,) = document["files"]
+    stats = entry["report"]["solver_stats"]
+    # Task-level accounting.
+    for key in ("tasks_retried", "tasks_timed_out", "tasks_failed"):
+        assert stats[key] == 0
+    # Tier accounting.
+    for key in ("algebra_discharged", "algebra_fallbacks", "tier_mismatches"):
+        assert key in stats
+    total = stats["total"]
+    assert total["queries"] > 0
+    assert total["sat"] + total["unsat"] + total["unknown"] == total["queries"]
+    # Cache-tier counters round-trip, and the tiers sum to the hits.
+    for key in ("cache_hits", "cache_misses", "cache_memory_hits", "cache_disk_hits"):
+        assert key in total
+    assert total["cache_memory_hits"] + total["cache_disk_hits"] == total["cache_hits"]
+    # Phase timers (the --profile block) are embedded per method too.
+    for key in ("encode_s", "sat_s", "expand_s", "theory_s", "validate_s"):
+        assert key in total
+        assert all(key in row for row in stats["per_method"].values())
+    assert stats["per_method"]
+
+
+@pytest.mark.parametrize("tier", ["auto", "smt-only", "algebra-only", "check"])
+def test_verify_tier_flag_accepted(program, capsys, tier):
+    assert main(["verify", program(BUGGY), "--tier", tier]) == 0
+    out = capsys.readouterr().out
+    assert "nonexhaustive" in out
+
+
+def test_verify_tier_rejects_unknown_value(program, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["verify", program(CLEAN), "--tier", "fast"])
+    assert excinfo.value.code == 2
+    assert "--tier" in capsys.readouterr().err
+
+
+def test_verify_tier_auto_matches_smt_only_text(program, capsys):
+    path = program(BUGGY)
+    strip = lambda text: [
+        l for l in text.splitlines() if not l.startswith("checked ")
+    ]
+    assert main(["verify", path, "--tier", "smt-only", "--no-cache"]) == 0
+    smt = capsys.readouterr().out
+    assert main(["verify", path, "--tier", "auto", "--no-cache"]) == 0
+    auto = capsys.readouterr().out
+    assert strip(smt) == strip(auto)
+
+
+def test_verify_tier_check_mismatch_exits_one(program, capsys, monkeypatch):
+    """A forced algebra/SMT disagreement must exit 1 in both output
+    modes, while still rendering the report (text warnings / the JSON
+    report object plus an "error" key)."""
+    import json
+
+    from repro.verify import tiered
+
+    real = tiered.PatternAlgebra.analyze_switch
+
+    def lying(self, node, *rest):
+        decision = real(self, node, *rest)
+        if decision is not None and decision.exhaustive is False:
+            decision.exhaustive = True
+            decision.witness = []
+        return decision
+
+    monkeypatch.setattr(tiered.PatternAlgebra, "analyze_switch", lying)
+    path = program(BUGGY)
+    assert main(["verify", path, "--tier", "check"]) == 1
+    captured = capsys.readouterr()
+    assert "tier check failed" in captured.err
+    assert "tier disagreement" in captured.out
+    assert main(["verify", path, "--tier", "check", "--format", "json"]) == 1
+    captured = capsys.readouterr()
+    document = json.loads(captured.out)
+    (entry,) = document["files"]
+    assert "tier check failed" in entry["error"]
+    assert entry["report"]["solver_stats"]["tier_mismatches"] > 0
