@@ -1,0 +1,79 @@
+"""``bench_scale`` on a reduced corpus: schema, honesty, and the floor.
+
+The full benchmark (1k/5k methods) is for ``python
+benchmarks/bench_scale.py``; here the same pipeline runs on corpora
+small enough for CI while still asserting the properties that make the
+benchmark trustworthy:
+
+* every lane's warnings match the generator's ground-truth manifest;
+* the JSON schema carries the fields EXPERIMENTS.md documents;
+* the floor — at the largest size, the parallel lane must not lose to
+  serial (``speedup_parallel_vs_serial >= 1.0``).  Pool spawn cannot
+  amortize without a second CPU, so the floor is skipped on
+  single-CPU runners rather than asserting a coin flip;
+* the committed ``BENCH_scale.json`` artifact covers at least two
+  corpus sizes (the acceptance shape for the scale lane).
+"""
+
+import json
+
+import pytest
+
+from bench_scale import OUT_PATH, run_bench, usable_cpus
+
+#: small enough for CI, large enough that the biggest corpus gives a
+#: pool real work to amortize its spawn against
+TEST_SIZES = [60, 300]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_bench(sizes=TEST_SIZES)
+
+
+def test_reports_every_requested_size(results):
+    assert results["sizes"] == TEST_SIZES
+    assert [lane["methods"] for lane in results["lanes"]] == TEST_SIZES
+    assert len(results["lanes"]) >= 2
+
+
+def test_every_lane_matches_its_manifest(results):
+    assert results["manifest_ok"]
+    for lane in results["lanes"]:
+        assert lane["manifest_ok"], f"lane {lane['methods']} diverged"
+        assert lane["expected_warnings"] > 0
+
+
+def test_lane_schema_is_complete(results):
+    required = {
+        "methods", "files", "tasks", "expected_warnings", "manifest_ok",
+        "generate_s", "compile_s", "serial_s", "parallel_s",
+        "speedup_parallel_vs_serial", "obligations", "obligations_per_s",
+        "p95_method_s", "parallel_decision",
+    }
+    for lane in results["lanes"]:
+        assert required <= lane.keys()
+        assert lane["tasks"] >= lane["methods"]
+        assert lane["obligations"] > 0
+        assert lane["obligations_per_s"] > 0
+        assert lane["serial_s"] > 0 and lane["parallel_s"] > 0
+        assert lane["parallel_decision"], "decision string must be recorded"
+
+
+def test_parallel_floor_at_largest_size(results):
+    if usable_cpus() < 2:
+        pytest.skip("parallel floor needs >= 2 usable CPUs")
+    largest = results["lanes"][-1]
+    assert largest["speedup_parallel_vs_serial"] >= 1.0, (
+        f"--jobs lost to serial at {largest['methods']} methods: "
+        f"{largest['parallel_decision']}"
+    )
+
+
+def test_committed_artifact_covers_two_sizes():
+    assert OUT_PATH.exists(), "run `python benchmarks/bench_scale.py`"
+    data = json.loads(OUT_PATH.read_text())
+    assert data["benchmark"] == "bench_scale"
+    assert data["schema_version"] == 1
+    assert len(data["sizes"]) >= 2
+    assert data["manifest_ok"]

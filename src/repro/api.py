@@ -66,6 +66,7 @@ def verify(
     trace: str | None = _UNSET,
     format: str = _UNSET,
     tier: str = _UNSET,
+    batch_size: int | str = _UNSET,
     *,
     options: VerifyOptions | None = None,
 ) -> VerificationReport:
@@ -102,7 +103,17 @@ def verify(
     ``jobs`` may also be ``"auto"``, which picks a worker count from
     ``os.cpu_count()`` and the task count -- staying serial on
     single-CPU machines or tiny programs, where pool overhead would
-    make verification slower.
+    make verification slower.  An explicit integer is honored except
+    on programs below a small task-count floor, which always run
+    serially; the resolved decision is recorded on the report
+    (``solver_stats.parallel_decision``) and in the trace.
+
+    ``batch_size`` groups that many per-method obligations into one
+    worker submission (parallel runs only), amortizing submit/pickle
+    overhead on corpora with many small methods.  The default
+    ``"auto"`` sizes batches from the task and worker counts, and
+    keeps single-task batches under ``task_timeout`` so deadlines
+    attribute to exactly one method.
 
     ``incremental`` selects the solver engine: the default keeps one
     persistent incremental solver per encoding context (shared Tseitin
@@ -149,6 +160,7 @@ def verify(
             ("trace", trace),
             ("format", format),
             ("tier", tier),
+            ("batch_size", batch_size),
         )
         if value is not _UNSET
     }
@@ -187,18 +199,23 @@ def _verify_table(
     table: ProgramTable, opts: VerifyOptions, tracer
 ) -> VerificationReport:
     """Dispatch one table to the right driver for ``opts``."""
-    jobs = opts.jobs
-    if jobs == "auto":
-        from .verify.parallel import resolve_jobs
-        from .verify.verifier import iter_tasks
+    from .verify.parallel import (
+        describe_parallel_decision,
+        resolve_jobs,
+    )
+    from .verify.verifier import iter_tasks
 
-        jobs = resolve_jobs("auto", sum(1 for _ in iter_tasks(table)))
+    task_count = sum(1 for _ in iter_tasks(table))
+    jobs = resolve_jobs(opts.jobs, task_count)
     if jobs != 1:
+        # verify_parallel re-resolves from the original request, so the
+        # recorded decision names what the caller actually asked for.
         from .verify.parallel import verify_parallel
 
-        return verify_parallel(
-            table, tracer=tracer, options=opts.replace(jobs=jobs)
-        )
+        return verify_parallel(table, tracer=tracer, options=opts)
+    decision = describe_parallel_decision(opts.jobs, 1, task_count, 1)
+    if tracer.enabled:
+        tracer.event("jobs-decision", decision=decision)
     cache = opts.cache
     if opts.use_cache and opts.cache_dir is not None:
         from .smt.diskcache import DiskCache
@@ -210,10 +227,15 @@ def _verify_table(
     if opts.task_timeout is not None:
         from .verify.parallel import verify_serial_with_timeout
 
-        return verify_serial_with_timeout(
+        report = verify_serial_with_timeout(
             table, cache=cache, tracer=tracer, options=opts
         )
-    return Verifier(table, cache=cache, tracer=tracer, options=opts).run()
+    else:
+        report = Verifier(
+            table, cache=cache, tracer=tracer, options=opts
+        ).run()
+    report.solver_stats.parallel_decision = decision
+    return report
 
 
 def interpreter(unit: CompiledUnit) -> Interpreter:

@@ -19,8 +19,9 @@ verification "only affects warnings given to the programmer"); 1 on
 per-file failures — compile errors, unreadable files, or a ``--tier
 check`` disagreement (with several files: if any file failed) — the
 same in text and JSON mode; 2 on bad usage, including a non-positive
-``--budget``, ``--jobs``, or ``--task-timeout`` and invalid option
-combinations; 130 when interrupted (Ctrl-C), after cancelling any
+``--budget``, ``--jobs``, ``--batch-size``, or ``--task-timeout`` and
+invalid option combinations; 130 when interrupted (Ctrl-C), after
+cancelling any
 verification work still queued on the worker pool.
 """
 
@@ -79,6 +80,23 @@ def cmd_verify(args: argparse.Namespace) -> int:
         if jobs < 1:
             print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
             return 2
+    batch_size: int | str = args.batch_size
+    if batch_size != "auto":
+        try:
+            batch_size = int(batch_size)
+        except ValueError:
+            print(
+                f"error: --batch-size must be a positive integer or 'auto', "
+                f"got {args.batch_size!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if batch_size < 1:
+            print(
+                f"error: --batch-size must be >= 1, got {batch_size}",
+                file=sys.stderr,
+            )
+            return 2
     from .smt.cache import GLOBAL_CACHE
 
     cache = None if args.no_cache else GLOBAL_CACHE
@@ -99,6 +117,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         incremental=not args.no_incremental,
         task_timeout=args.task_timeout,
+        batch_size=batch_size,
         tracer=tracer,
         format=args.format,
         tier=args.tier,
@@ -230,6 +249,13 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", default="1", metavar="N",
         help="verify methods on N worker processes, or 'auto' to size the "
         "pool from the CPU count and task count (default: 1, serial)",
+    )
+    p_verify.add_argument(
+        "--batch-size", default="auto", metavar="N",
+        help="obligations per parallel worker submission, or 'auto' "
+        "(default) to size batches from the task and worker counts; "
+        "runs under --task-timeout default to single-task batches so "
+        "deadlines attribute to exactly one method",
     )
     p_verify.add_argument(
         "--task-timeout", type=float, default=None, metavar="SECONDS",

@@ -1,0 +1,39 @@
+"""Seeded, deterministic JMatch corpus generation (``repro.gen``).
+
+Property-based workload generation with *known ground truth*: random
+sealed ADT hierarchies and pattern-matching methods whose expected
+verification warnings are computed at generation time and emitted as a
+JSON manifest, so a verification run over the corpus can be checked
+for correctness, not just timed.  See :mod:`repro.gen.generator` for
+the construction and the honesty argument.
+
+Library use::
+
+    from repro.gen import GenConfig, generate_corpus, write_corpus
+    corpus = generate_corpus(GenConfig(methods=300, seed=7))
+    write_corpus(corpus, "out/")
+
+Command line::
+
+    python -m repro.gen --methods 300 --seed 7 --out out/
+"""
+
+from .generator import (
+    Corpus,
+    ExpectedWarning,
+    GenConfig,
+    GeneratedFile,
+    check_report,
+    generate_corpus,
+    write_corpus,
+)
+
+__all__ = [
+    "Corpus",
+    "ExpectedWarning",
+    "GenConfig",
+    "GeneratedFile",
+    "check_report",
+    "generate_corpus",
+    "write_corpus",
+]

@@ -140,6 +140,10 @@ class VerifyStats:
     #: ``tier=check`` disagreements between the two tiers (always 0 on a
     #: healthy build; ``api.verify`` raises TierMismatchError when not)
     tier_mismatches: int = 0
+    #: how the run's driver was chosen — serial or a pool, and why
+    #: (task count vs. thresholds, batch size); set by the dispatcher,
+    #: empty for direct Verifier runs
+    parallel_decision: str = ""
 
     def record(
         self, method: str, verdict: str, seconds: float, solver_stats
@@ -168,6 +172,10 @@ class VerifyStats:
         self.algebra_discharged += other.algebra_discharged
         self.algebra_fallbacks += other.algebra_fallbacks
         self.tier_mismatches += other.tier_mismatches
+        # The decision is a whole-run fact the dispatcher sets once;
+        # per-task stats merged in never carry one.
+        if not self.parallel_decision:
+            self.parallel_decision = other.parallel_decision
 
     def to_dict(self) -> dict:
         """The aggregate as a JSON-ready structure (``--format json``).
@@ -188,6 +196,7 @@ class VerifyStats:
             "algebra_discharged": self.algebra_discharged,
             "algebra_fallbacks": self.algebra_fallbacks,
             "tier_mismatches": self.tier_mismatches,
+            "parallel_decision": self.parallel_decision,
         }
 
     def format_table(self) -> str:
@@ -229,6 +238,8 @@ class VerifyStats:
             f"the pattern algebra, {self.algebra_fallbacks} fell back to "
             f"SMT, {self.tier_mismatches} mismatches"
         )
+        if self.parallel_decision:
+            lines.append(f"jobs: {self.parallel_decision}")
         return "\n".join(lines)
 
     def format_profile(self) -> str:

@@ -63,6 +63,11 @@ class VerifyOptions:
     incremental: bool = True
     #: wall-clock limit per verification task (method), in seconds
     task_timeout: float | None = None
+    #: obligations per parallel worker submission: an int, or "auto" to
+    #: size batches from the task and worker counts (serial runs and
+    #: runs under ``task_timeout`` always use single-task batches, so
+    #: tail latency and timeout attribution stay per-method)
+    batch_size: int | str = "auto"
     #: path to write the run's JSONL trace (None: tracing off)
     trace: str | None = None
     #: an externally-owned tracer to record into (overrides ``trace``
@@ -111,6 +116,16 @@ class VerifyOptions:
                 ) from None
             if jobs < 1:
                 raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if self.batch_size != "auto":
+            try:
+                batch = int(self.batch_size)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"batch_size must be a positive integer or 'auto', "
+                    f"got {self.batch_size!r}"
+                ) from None
+            if batch < 1:
+                raise ValueError(f"batch_size must be >= 1, got {batch}")
         if self.format not in OUTPUT_FORMATS:
             raise ValueError(
                 f"format must be one of {OUTPUT_FORMATS}, got {self.format!r}"

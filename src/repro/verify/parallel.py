@@ -19,6 +19,26 @@ table decomposes into independent :class:`~repro.verify.verifier
   atomic writes make concurrent access safe — a verdict one worker
   stores is a solve another worker skips.
 
+Throughput comes from amortization, not from more processes:
+
+* **warm workers** — the pool initializer builds the table, the cache
+  tiers, and the shared pattern-algebra signature memo
+  (:func:`repro.verify.tiered.warm_algebra`) once per worker process,
+  so per-task setup is a fresh ``Verifier`` over already-warm state;
+* **batching** — many small obligations ship per pool submission
+  (:func:`resolve_batch_size`; ``batch_size="auto"`` sizes batches
+  from the task and worker counts), collapsing the per-future
+  submit/pickle/result overhead that made one-obligation-per-task
+  *slower* than serial on corpus-sized workloads.  Outcomes stay
+  per-task inside each batch, so merging is unchanged.  Runs under
+  ``--task-timeout`` keep single-task batches: a deadline or a
+  degradation must attribute to exactly one method;
+* **serial fallback for tiny workloads** — both ``--jobs auto`` and an
+  explicit ``--jobs N`` stay serial below a small task count
+  (:data:`MIN_TASKS_PARALLEL`), where pool spawn dominates; the
+  decision is recorded on ``VerifyStats.parallel_decision`` (rendered
+  by ``--stats``) and as a trace event.
+
 The pipeline survives worker failure the way the solver already
 survives hard queries — by degrading instead of diverging (the paper's
 Section 6.2 time budget turns an undecidable obligation into a
@@ -160,7 +180,13 @@ def _init_worker(
     trace: bool = False,
     tier: str = "auto",
 ) -> None:
-    """Build this worker's table and cache tiers (runs once per process)."""
+    """Build this worker's warm state (runs once per process).
+
+    Everything a task would otherwise rebuild on first touch happens
+    here instead: the cache tiers, and — unless the run is
+    ``smt-only`` — the pattern-algebra signature memo for every
+    (viewer, type) pair, shared by all of this worker's tasks.
+    """
     _WORKER["table"] = table
     _WORKER["budget"] = budget
     _WORKER["cache"] = build_cache(use_cache, cache_dir)
@@ -168,6 +194,10 @@ def _init_worker(
     _WORKER["task_timeout"] = task_timeout
     _WORKER["trace"] = trace
     _WORKER["tier"] = tier
+    if tier != "smt-only":
+        from .tiered import warm_algebra
+
+        warm_algebra(table)
 
 
 def run_one_task(
@@ -288,6 +318,29 @@ def verify_method_task(task: VerifyTask) -> TaskOutcome:
     )
 
 
+def verify_batch_task(tasks: list[VerifyTask]) -> list:
+    """Verify a batch of tasks inside a pool worker, one entry per task.
+
+    Each entry is that task's :class:`TaskOutcome`, or the exception
+    its run raised — per-member, so one poisoned obligation does not
+    discard its batchmates' finished work.  Fault injection
+    (``REPRO_FAULT``) keeps per-method naming: :func:`run_one_task`
+    consults the harness with each member's own label, so
+    ``crash:T.m`` fires exactly when the batch reaches ``T.m`` (a
+    crash then loses the batch's buffered outcomes — the parent
+    re-runs those members in isolation).  Per-member deadlines arm
+    inside :func:`run_one_task` too, so a hung member times out alone
+    and its batchmates keep running.
+    """
+    results: list = []
+    for task in tasks:
+        try:
+            results.append(verify_method_task(task))
+        except Exception as exc:
+            results.append(exc)
+    return results
+
+
 def _pool_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
@@ -325,6 +378,23 @@ AUTO_MIN_TASKS = 8
 #: cores the box has; the corpus-sized workloads stop scaling earlier
 AUTO_MAX_JOBS = 8
 
+#: even an *explicit* ``--jobs N`` stays serial below this many tasks:
+#: pool spawn alone costs more than verifying a near-empty program, so
+#: honoring N to the letter would only ever make those runs slower
+#: (BENCH_verify recorded 0.53x on exactly this shape).  Deliberately
+#: lower than AUTO_MIN_TASKS — an explicit N is a stated preference,
+#: so only the hopeless cases override it.
+MIN_TASKS_PARALLEL = 4
+
+#: ``--batch-size auto`` aims for about this many batches per worker,
+#: enough slack for the pool to rebalance around uneven task costs
+BATCHES_PER_WORKER = 4
+
+#: ``--batch-size auto`` never batches more obligations than this into
+#: one submission, bounding how much finished work a crashed worker
+#: can take down with it
+MAX_AUTO_BATCH = 64
+
 
 def resolve_jobs(jobs: int | str, task_count: int) -> int:
     """Turn a ``--jobs`` value (an int or ``"auto"``) into a worker count.
@@ -332,14 +402,76 @@ def resolve_jobs(jobs: int | str, task_count: int) -> int:
     ``auto`` falls back to serial on single-CPU machines and for small
     task counts -- BENCH_verify.json recorded a 0.73x parallel
     "speedup" on a 1-CPU box, so process-pool overhead must never be
-    the default.
+    the default.  An explicit integer is honored except below
+    :data:`MIN_TASKS_PARALLEL` tasks, where the pool cannot win.
     """
     if jobs != "auto":
-        return int(jobs)
+        requested = int(jobs)
+        if requested > 1 and task_count < MIN_TASKS_PARALLEL:
+            return 1
+        return requested
     cpus = os.cpu_count() or 1
     if cpus < 2 or task_count < AUTO_MIN_TASKS:
         return 1
     return max(1, min(cpus, task_count, AUTO_MAX_JOBS))
+
+
+def resolve_batch_size(
+    batch_size: int | str,
+    task_count: int,
+    jobs: int,
+    task_timeout: float | None = None,
+) -> int:
+    """Turn a ``--batch-size`` value into obligations per submission.
+
+    ``auto`` targets :data:`BATCHES_PER_WORKER` batches per worker
+    (capped at :data:`MAX_AUTO_BATCH`), which amortizes submit/pickle
+    overhead while leaving the pool enough batches to load-balance.
+    Under ``task_timeout`` it stays at 1: a deadline must cut off and
+    attribute exactly one method, and a batch would stretch the
+    parent-side watchdog window by its whole length.  An explicit
+    integer is honored as given — including alongside a timeout, for
+    callers who prefer throughput over tail-latency attribution.
+    """
+    if batch_size != "auto":
+        return max(1, int(batch_size))
+    if jobs <= 1 or task_timeout is not None:
+        return 1
+    target = -(-task_count // (jobs * BATCHES_PER_WORKER))  # ceil div
+    return max(1, min(MAX_AUTO_BATCH, target))
+
+
+def describe_parallel_decision(
+    requested: int | str, jobs: int, task_count: int, batch_size: int
+) -> str:
+    """One human-readable line on how the run's driver was chosen.
+
+    Lands on ``VerifyStats.parallel_decision`` (rendered by
+    ``--stats``) and on the trace as a ``jobs-decision`` event, so
+    "why did my --jobs 8 run serially?" is answerable from the output.
+    """
+    if jobs > 1:
+        return (
+            f"parallel: {jobs} workers over {task_count} tasks, "
+            f"batch size {batch_size} (requested jobs={requested})"
+        )
+    if requested == 1:
+        return f"serial: as requested (jobs=1, {task_count} tasks)"
+    if requested != "auto" and task_count < MIN_TASKS_PARALLEL:
+        return (
+            f"serial: {task_count} tasks is below the parallel "
+            f"threshold ({MIN_TASKS_PARALLEL}) — pool spawn would cost "
+            f"more than it saves (requested jobs={requested})"
+        )
+    if requested == "auto" and task_count < AUTO_MIN_TASKS:
+        return (
+            f"serial: {task_count} tasks is below the auto threshold "
+            f"({AUTO_MIN_TASKS}) (requested jobs=auto)"
+        )
+    return (
+        f"serial: too few usable CPUs for a pool to win "
+        f"({task_count} tasks, requested jobs={requested})"
+    )
 
 
 def _stall_window(task_timeout: float) -> float:
@@ -353,27 +485,41 @@ def _stall_window(task_timeout: float) -> float:
     return task_timeout * 2 + 5.0
 
 
+def _chunk(items: list, size: int) -> list[list]:
+    """Split ``items`` into consecutive runs of at most ``size``."""
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
 def _drain_pool(
     pool: ProcessPoolExecutor,
     indexed_tasks: list[tuple[int, VerifyTask]],
     task_timeout: float | None,
+    batch_size: int = 1,
 ):
-    """Submit tasks and collect outcomes until done or the pool breaks.
+    """Submit task batches and collect outcomes until done or broken.
 
     Returns ``(outcomes, raised, broken)``: outcomes and in-worker
     exceptions by task index, plus whether the pool died (worker crash
     or watchdog kill) — in which case unaccounted tasks are simply the
-    ones in neither dict.
+    ones in neither dict.  A batch resolves member-by-member: finished
+    members land in ``outcomes``, members whose run raised land in
+    ``raised``, so one bad obligation never voids its batchmates.
     """
     futures = {
-        pool.submit(verify_method_task, task): index
-        for index, task in indexed_tasks
+        pool.submit(verify_batch_task, [task for _, task in batch]): batch
+        for batch in _chunk(indexed_tasks, batch_size)
     }
     outcomes: dict[int, TaskOutcome] = {}
     raised: dict[int, BaseException] = {}
     broken = False
     pending = set(futures)
-    window = _stall_window(task_timeout) if task_timeout is not None else None
+    # A healthy batch may legitimately produce nothing for as long as
+    # every member in sequence takes its full deadline.
+    window = (
+        _stall_window(task_timeout * batch_size)
+        if task_timeout is not None
+        else None
+    )
     while pending and not broken:
         done, pending = wait(
             pending, timeout=window, return_when=FIRST_COMPLETED
@@ -388,13 +534,23 @@ def _drain_pool(
             broken = True
             break
         for future in done:
-            index = futures[future]
+            batch = futures[future]
             try:
-                outcomes[index] = future.result()
+                results = future.result()
             except BrokenProcessPool:
                 broken = True
-            except Exception as exc:  # task raised inside a live worker
-                raised[index] = exc
+                continue
+            except Exception as exc:
+                # The batch call itself failed (e.g. its result did not
+                # unpickle); every member takes the serial-fallback path.
+                for index, _ in batch:
+                    raised[index] = exc
+                continue
+            for (index, _), result in zip(batch, results):
+                if isinstance(result, TaskOutcome):
+                    outcomes[index] = result
+                else:  # the member's run raised inside a live worker
+                    raised[index] = result
     return outcomes, raised, broken
 
 
@@ -409,16 +565,19 @@ def _run_rounds(
     task_timeout: float | None,
     trace: bool = False,
     tier: str = "auto",
+    batch_size: int = 1,
 ) -> tuple[dict[int, TaskOutcome], int]:
     """The pool rounds plus serial fallback; every task gets an outcome.
 
-    Round one submits everything; if the pool breaks, round two
-    respawns it and retries only the unfinished tasks.  Whatever is
-    left after that — and any task that raised inside a worker — runs
-    serially in this process, where a final failure degrades to an
-    UNKNOWN-style warning instead of taking the run down.  Retried
-    tasks get a ``retry`` event on their task span, so a trace shows
-    which obligations survived a crash.
+    Round one submits everything in batches of ``batch_size``; if the
+    pool breaks, round two respawns it and retries only the unfinished
+    tasks — in single-task batches, so a poisoned obligation can take
+    down at most itself the second time.  Whatever is left after that —
+    and any task that raised inside a worker — runs serially in this
+    process, where a final failure degrades to an UNKNOWN-style warning
+    instead of taking the run down.  Retried tasks get a ``retry``
+    event on their task span, so a trace shows which obligations
+    survived a crash.
     """
     outcomes: dict[int, TaskOutcome] = {}
     retried = 0
@@ -428,9 +587,11 @@ def _run_rounds(
     for round_number in (1, 2):
         if not remaining:
             break
+        round_batch = batch_size
         if round_number == 2:
             retried += len(remaining)
             retried_indices.update(index for index, _ in remaining)
+            round_batch = 1
         pool = ProcessPoolExecutor(
             max_workers=min(jobs, len(remaining)),
             mp_context=_pool_context(),
@@ -447,7 +608,9 @@ def _run_rounds(
             ),
         )
         try:
-            done, raised, broken = _drain_pool(pool, remaining, task_timeout)
+            done, raised, broken = _drain_pool(
+                pool, remaining, task_timeout, round_batch
+            )
         except BaseException:
             # KeyboardInterrupt (or anything unexpected): drop queued
             # work without blocking on what is already running.
@@ -540,6 +703,7 @@ def verify_parallel(
     tracer=NULL_TRACER,
     options=None,
     tier: str = "auto",
+    batch_size: int | str = "auto",
 ) -> VerificationReport:
     """Verify every task of ``table`` on a pool of ``jobs`` processes.
 
@@ -560,32 +724,47 @@ def verify_parallel(
         incremental = options.incremental
         task_timeout = options.task_timeout
         tier = options.tier
+        batch_size = options.batch_size
     active_fault()  # reject a malformed REPRO_FAULT loudly, up front
     tasks = list(iter_tasks(table))
+    requested = jobs
     jobs = resolve_jobs(jobs, len(tasks))
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if jobs > 1 and len(tasks) <= 1:
+        jobs = 1
+    batch_size = resolve_batch_size(
+        batch_size, len(tasks), jobs, task_timeout
+    )
+    decision = describe_parallel_decision(
+        requested, jobs, len(tasks), batch_size
+    )
+    if tracer.enabled:
+        tracer.event("jobs-decision", decision=decision)
     start = time.perf_counter()
-    if jobs == 1 or len(tasks) <= 1:
+    if jobs == 1:
         # Nothing to fan out: take the serial path (same code, no pool).
         cache = build_cache(use_cache, cache_dir)
         if task_timeout is None:
-            return Verifier(
+            report = Verifier(
                 table, budget=budget, cache=cache, incremental=incremental,
                 tracer=tracer, tier=tier,
             ).run()
-        return verify_serial_with_timeout(
-            table,
-            budget=budget,
-            cache=cache,
-            incremental=incremental,
-            task_timeout=task_timeout,
-            tracer=tracer,
-            tier=tier,
-        )
+        else:
+            report = verify_serial_with_timeout(
+                table,
+                budget=budget,
+                cache=cache,
+                incremental=incremental,
+                task_timeout=task_timeout,
+                tracer=tracer,
+                tier=tier,
+            )
+        report.solver_stats.parallel_decision = decision
+        return report
     outcomes, retried = _run_rounds(
         table, tasks, jobs, budget, use_cache, cache_dir, incremental,
-        task_timeout, tracer.enabled, tier,
+        task_timeout, tracer.enabled, tier, batch_size,
     )
     assert len(outcomes) == len(tasks), "every task must have an outcome"
     if tracer.enabled:
@@ -596,4 +775,5 @@ def verify_parallel(
         time.perf_counter() - start,
     )
     report.solver_stats.tasks_retried += retried
+    report.solver_stats.parallel_decision = decision
     return report

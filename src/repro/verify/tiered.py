@@ -54,6 +54,7 @@ discharges exactly those without a query.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 from ..lang import ast
@@ -70,6 +71,7 @@ __all__ = [
     "PWild",
     "Signature",
     "TierMismatchError",
+    "warm_algebra",
 ]
 
 
@@ -173,6 +175,40 @@ class AlgebraDecision:
 # ---------------------------------------------------------------------------
 
 
+#: process-wide signature memo, shared by every :class:`PatternAlgebra`
+#: over the same live table: ``table -> {viewer -> {type_name: ...}}``.
+#: Signature extraction is deterministic in ``(table, viewer)``, and a
+#: verification run builds one algebra per method body, so without
+#: sharing the same sealing invariants get re-parsed thousands of times
+#: on a generated corpus.  Weak keys keep dead tables collectable.
+_SHARED_SIGNATURES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _signature_store(table: ProgramTable, viewer: str | None) -> dict:
+    try:
+        per_table = _SHARED_SIGNATURES.setdefault(table, {})
+    except TypeError:  # unhashable/unweakrefable table stand-in (tests)
+        return {}
+    return per_table.setdefault(viewer, {})
+
+
+def warm_algebra(table: ProgramTable) -> None:
+    """Pre-extract every (viewer, type) signature into the shared memo.
+
+    The parallel driver's worker initializer calls this once per
+    process, so no task — whichever worker it lands on — pays the
+    first-touch cost of parsing sealing invariants; the serial driver
+    gets the same effect implicitly through the shared store.
+    """
+    for viewer in [None, *table.types]:
+        algebra = PatternAlgebra(table, viewer)
+        for type_name in table.types:
+            try:
+                algebra.signature(type_name)
+            except _Ineligible:
+                pass
+
+
 class PatternAlgebra:
     """The syntactic tier for one (table, viewer) verification context."""
 
@@ -181,8 +217,9 @@ class PatternAlgebra:
         self.viewer = viewer
         self._resolver = SolvabilityContext(table, viewer)
         #: memoized per type name: Signature, None (open), or the
-        #: _UNSAFE marker for unsafe invariant shapes
-        self._signatures: dict = {}
+        #: _UNSAFE marker for unsafe invariant shapes; shared across
+        #: instances over the same (table, viewer)
+        self._signatures: dict = _signature_store(table, viewer)
 
     # -- constructor resolution ----------------------------------------
 

@@ -1040,6 +1040,22 @@ class Translator:
             raise TranslationError("constructor pattern against tuple", call.span)
         canonical = self.ctx.canonical(method)
         known, unknown = self._classify_args(call, canonical, env)
+        if known and method.kind != "equality":
+            # The success predicate's signature must not depend on which
+            # arguments happen to be evaluable at this call site: two
+            # arms matching the same constructor (`c2(_)` vs `c2(c0())`)
+            # would otherwise mint unrelated symbols (unary vs binary),
+            # and negating one constrains nothing about the other, so
+            # cross-arm redundancy queries become vacuously satisfiable.
+            # When a non-iterative mode binds every parameter, use it and
+            # match evaluable arguments against its outputs instead.
+            wanted = frozenset(canonical.param_names)
+            if any(
+                not m.iterative and RESULT not in m.unknowns
+                and m.unknowns == wanted
+                for m in canonical.modes()
+            ):
+                known, unknown = [], list(zip(canonical.params, call.args))
         mode = self._select_pattern_mode(canonical, {p.name for p, _ in unknown})
         result_type = canonical.result_type()
 

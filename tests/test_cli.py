@@ -209,9 +209,14 @@ def test_resolve_jobs_auto_policy(monkeypatch):
     from repro.verify import parallel
     from repro.verify.parallel import resolve_jobs
 
-    # Explicit integers pass through untouched.
+    # Explicit integers are honored on real workloads...
     assert resolve_jobs(3, 100) == 3
-    assert resolve_jobs("5", 1) == 5
+    assert resolve_jobs("5", parallel.MIN_TASKS_PARALLEL) == 5
+    # ...but fall back to serial below the task-count floor, where a
+    # pool can only lose (the 0.53x regression shape).
+    assert resolve_jobs("5", 1) == 1
+    assert resolve_jobs(8, parallel.MIN_TASKS_PARALLEL - 1) == 1
+    assert resolve_jobs(1, 1) == 1
     # Serial on single-CPU boxes, whatever the task count.
     monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
     assert resolve_jobs("auto", 100) == 1
@@ -227,6 +232,66 @@ def test_resolve_jobs_auto_policy(monkeypatch):
     assert resolve_jobs("auto", 1000) == 2
     monkeypatch.setattr(parallel.os, "cpu_count", lambda: None)
     assert resolve_jobs("auto", 1000) == 1
+
+
+def test_resolve_batch_size_policy():
+    from repro.verify.parallel import (
+        BATCHES_PER_WORKER,
+        MAX_AUTO_BATCH,
+        resolve_batch_size,
+    )
+
+    # Explicit integers are honored as given.
+    assert resolve_batch_size(7, 1000, 4) == 7
+    assert resolve_batch_size("3", 10, 2) == 3
+    assert resolve_batch_size(5, 10, 2, task_timeout=1.0) == 5
+    # auto: single-task batches for serial runs and under a deadline
+    # (timeouts must attribute to exactly one method).
+    assert resolve_batch_size("auto", 1000, 1) == 1
+    assert resolve_batch_size("auto", 1000, 4, task_timeout=1.0) == 1
+    # auto: about BATCHES_PER_WORKER batches per worker, capped.
+    assert resolve_batch_size("auto", 1000, 4) == -(
+        -1000 // (4 * BATCHES_PER_WORKER)
+    )
+    assert resolve_batch_size("auto", 10_000_000, 2) == MAX_AUTO_BATCH
+    assert resolve_batch_size("auto", 6, 4) == 1
+
+
+def test_verify_batch_size_flag_validation(program, capsys):
+    path = program(BUGGY)
+    assert main(["verify", path, "--batch-size", "zero"]) == 2
+    assert "--batch-size" in capsys.readouterr().err
+    assert main(["verify", path, "--batch-size", "0"]) == 2
+    assert "--batch-size" in capsys.readouterr().err
+
+
+def test_verify_batched_parallel_output_matches_serial(program, capsys):
+    path = program(BUGGY)
+    strip = lambda text: [
+        line
+        for line in text.splitlines()
+        if not line.startswith("checked")
+    ]
+    assert main(["verify", path, "--no-cache"]) == 0
+    serial = capsys.readouterr().out
+    assert (
+        main(
+            ["verify", path, "--no-cache", "--jobs", "4",
+             "--batch-size", "2"]
+        )
+        == 0
+    )
+    batched = capsys.readouterr().out
+    assert strip(serial) == strip(batched)
+
+
+def test_verify_stats_reports_jobs_decision(program, capsys):
+    # One task: an explicit --jobs 64 must fall back to serial, and
+    # --stats must say so.
+    assert main(["verify", program(CLEAN), "--stats", "--jobs", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "jobs: serial" in out
+    assert "below the parallel threshold" in out
 
 
 def test_verify_cache_dir_flag_warms_across_runs(program, capsys, tmp_path):

@@ -196,6 +196,72 @@ def test_raising_task_degrades_serially_under_timeout(unit, monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# batch granularity: a fault inside a batch costs only that batch's
+# unfinished members (the REPRO_FAULT label matches per member, since
+# batches consult the harness one task at a time)
+
+
+def test_batched_run_without_faults_is_byte_identical(unit, baseline):
+    for batch_size in (1, 2, 5):
+        report = api.verify(unit, jobs=2, cache=None, batch_size=batch_size)
+        assert _snapshot(report) == _snapshot(baseline)
+        assert report.tasks_retried == 0
+
+
+def test_raise_inside_batch_degrades_only_that_member(
+    unit, baseline, monkeypatch
+):
+    monkeypatch.setenv(faults.ENV_VAR, f"raise:{TARGET}")
+    report = api.verify(unit, jobs=2, batch_size=3)
+    assert report.tasks_failed == 1
+    # Only the poisoned member took the serial-fallback path; its
+    # batchmates' outcomes from the same submission were kept.
+    assert report.tasks_retried == 1
+    degraded = [
+        w
+        for w in report.of_kind(WarningKind.UNKNOWN)
+        if "FaultInjected" in w.message
+    ]
+    assert len(degraded) == 1 and TARGET in degraded[0].message
+    assert report.methods_checked == baseline.methods_checked - 1
+    # The other warning-bearing method (f) kept its warning verbatim.
+    base_texts = [str(w) for w in baseline.diagnostics.warnings]
+    got_texts = [str(w) for w in report.diagnostics.warnings]
+    assert got_texts[0] == base_texts[0]
+
+
+def test_crash_inside_batch_recovers_byte_identical(
+    unit, baseline, monkeypatch
+):
+    monkeypatch.setenv(faults.ENV_VAR, f"crash:{TARGET}")
+    recovered = api.verify(unit, jobs=2, batch_size=3)
+    assert _snapshot(recovered) == _snapshot(baseline)
+    # The retry round re-batches at size 1, so the crashing member is
+    # isolated before the serial fallback completes it in-process.
+    assert recovered.tasks_retried >= 1
+    assert recovered.tasks_failed == 0
+
+
+def test_hang_inside_batch_times_out_only_that_member(
+    unit, baseline, monkeypatch
+):
+    monkeypatch.setenv(faults.ENV_VAR, f"hang:{TARGET}")
+    report = api.verify(unit, jobs=2, batch_size=3, task_timeout=1.0)
+    assert report.tasks_timed_out == 1
+    timeouts = [
+        w
+        for w in report.of_kind(WarningKind.UNKNOWN)
+        if "task timeout" in w.message
+    ]
+    assert len(timeouts) == 1 and TARGET in timeouts[0].message
+    # Batchmates after the hung member still completed in-batch.
+    assert report.methods_checked == baseline.methods_checked - 1
+    assert len(report.diagnostics.warnings) == len(
+        baseline.diagnostics.warnings
+    )
+
+
+# ----------------------------------------------------------------------
 # accounting and the fault spec itself
 
 

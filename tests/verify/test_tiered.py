@@ -87,11 +87,11 @@ class TestEdgeCases:
         ),
     }
 
-    #: cases where the SMT tier is conclusive, so warnings must match
-    #: byte for byte; ``deep_redundant`` is excluded because SMT
-    #: returns UNKNOWN on its nested wildcard while the algebra proves
-    #: the arm redundant (see ``test_algebra_improves_on_smt_unknown``).
-    PARITY_CASES = sorted(set(CASES) - {"deep_redundant"})
+    #: every case is conclusive for both tiers (the canonical pattern-
+    #: mode encoding keeps one success predicate per constructor, so
+    #: nested-wildcard redundancy like ``deep_redundant`` is provable
+    #: by SMT too), so warnings must match byte for byte.
+    PARITY_CASES = sorted(CASES)
 
     @pytest.mark.parametrize("name", PARITY_CASES)
     def test_auto_matches_smt_only_byte_for_byte(self, name):
@@ -100,16 +100,16 @@ class TestEdgeCases:
         smt = verify_tier(source, "smt-only")
         assert warning_strings(auto) == warning_strings(smt)
 
-    def test_algebra_improves_on_smt_unknown(self):
-        # succ(succ(_)) after succ(_): the SMT tier cannot instantiate
-        # the nested wildcard and degrades to UNKNOWN, but the algebra
-        # proves the arm unreachable.  check mode treats UNKNOWN as
-        # compatible, so this is a precision win, not a disagreement.
+    def test_deep_redundancy_proved_by_both_tiers(self):
+        # succ(succ(_)) after succ(_): the arms share one success
+        # predicate per constructor occurrence, so negating the earlier
+        # arm rules out the later one in the SMT encoding just as the
+        # algebra's usefulness matrix does.
         auto = verify_tier(self.CASES["deep_redundant"], "auto")
         smt = verify_tier(self.CASES["deep_redundant"], "smt-only")
-        assert auto.of_kind(WarningKind.REDUNDANT_ARM)
-        assert not auto.of_kind(WarningKind.UNKNOWN)
-        assert smt.of_kind(WarningKind.UNKNOWN)
+        for report in (auto, smt):
+            assert report.of_kind(WarningKind.REDUNDANT_ARM)
+            assert not report.of_kind(WarningKind.UNKNOWN)
 
     @pytest.mark.parametrize("name", sorted(CASES))
     def test_check_mode_agrees(self, name):
