@@ -1,0 +1,90 @@
+"""Asserted floors for the daemon's warm-path contract.
+
+``bench_daemon.run_bench`` measures; this module pins the claims the
+daemon PR makes (measured locally: warm ~7x faster than the cold CLI,
+an edited method re-runs ~1% of obligations):
+
+* a warm daemon re-verification is at least 2x faster than a cold CLI
+  invocation over the same corpus — interpreter startup, compilation,
+  and every SMT obligation are exactly what the daemon amortizes;
+* re-verifying after a one-method edit re-runs under 20% of the
+  corpus's obligations (the dependency index invalidates precisely);
+* daemon and CLI reports are byte-identical (timings and the driver
+  decision string normalized), cold and after the edit — the warm path
+  must never buy speed with different verdicts;
+* the daemon's reports match the generator's ground-truth manifest,
+  and shutdown removes the socket file.
+"""
+
+import json
+
+import pytest
+
+from bench_daemon import OUT_PATH, run_bench
+
+
+@pytest.fixture(scope="module")
+def results():
+    data = run_bench()
+    OUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def test_warm_daemon_is_at_least_2x_faster_than_cold_cli(results):
+    cold = results["cold_cli_s"]
+    warm = results["daemon_warm_s"]
+    assert warm * 2 <= cold, (
+        f"warm daemon {warm:.3f}s vs cold CLI {cold:.3f}s "
+        f"({cold / warm:.2f}x, need >= 2x)"
+    )
+
+
+def test_warm_request_replays_every_outcome(results):
+    assert results["warm_dep_misses"] == 0
+    assert results["warm_dep_hits"] == results["tasks"]
+
+
+def test_one_method_edit_reverifies_under_20_percent(results):
+    assert results["edit_dep_misses"] >= 1, "the edit invalidated nothing"
+    assert results["edit_reverify_fraction"] < 0.2, (
+        f"an edit to {results['edited_method']} re-ran "
+        f"{results['edit_reverify_fraction']:.0%} of obligations"
+    )
+
+
+def test_daemon_reports_are_byte_identical_to_cli(results):
+    assert results["cold_report_matches_cli"], (
+        "cold daemon report diverged from the CLI report"
+    )
+    assert results["edit_report_matches_cli"], (
+        "post-edit daemon report diverged from a fresh CLI run"
+    )
+
+
+def test_daemon_reports_match_the_manifest(results):
+    assert results["manifest_problems"] == []
+    assert results["expected_warnings"] > 0
+
+
+def test_daemon_shut_down_cleanly(results):
+    assert results["clean_shutdown"]
+
+
+def test_benchmark_json_is_fresh_and_complete(results):
+    on_disk = json.loads(OUT_PATH.read_text())
+    for key in (
+        "cold_cli_s",
+        "daemon_cold_s",
+        "daemon_warm_s",
+        "daemon_edit_s",
+        "speedup_warm_vs_cold_cli",
+        "warm_dep_hits",
+        "warm_dep_misses",
+        "edit_dep_misses",
+        "edit_reverify_fraction",
+        "cold_report_matches_cli",
+        "edit_report_matches_cli",
+        "clean_shutdown",
+    ):
+        assert key in on_disk, f"BENCH_daemon.json missing {key}"
+    assert on_disk["tasks"] > 0

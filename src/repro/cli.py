@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli verify program.jm        # static checks
     python -m repro.cli verify --jobs 4 *.jm     # parallel, many files
     python -m repro.cli verify --trace t.jsonl --format json program.jm
+    python -m repro.cli verify --daemon program.jm  # via the warm daemon
+    python -m repro.cli serve                    # run the daemon itself
     python -m repro.cli run program.jm main 3 4  # call a function
     python -m repro.cli tokens                   # Table 1 token table
 
@@ -43,14 +45,23 @@ def _read(path: str) -> str:
 
 
 def _cache_dir(args: argparse.Namespace) -> str | None:
-    """The disk-cache location: flag, then env, then the default."""
+    """The disk-cache location: flag, then env, then the default.
+
+    ``REPRO_CACHE_DIR=""`` (set but empty) disables the disk tier —
+    the historical ``env or DEFAULT`` fallthrough silently re-enabled
+    the default directory instead, which is exactly what someone
+    exporting an empty value was trying to avoid.
+    """
     if args.no_cache:
         return None
     if args.cache_dir is not None:
         return args.cache_dir
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        return env or None
     from .smt.diskcache import DEFAULT_CACHE_DIR
 
-    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    return DEFAULT_CACHE_DIR
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -97,6 +108,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.daemon:
+        return _verify_via_daemon(args)
     from .smt.cache import GLOBAL_CACHE
 
     cache = None if args.no_cache else GLOBAL_CACHE
@@ -188,6 +201,113 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return status
 
 
+def _format_warning(warning: dict) -> str:
+    """Render one report-dict warning exactly as ``Warning.__str__``.
+
+    The daemon ships report *documents*; the client re-renders them so
+    daemon and local text output are byte-identical (the equivalence
+    test locks this against :class:`repro.errors.Warning`).
+    """
+    text = (
+        f"warning[{warning['kind']}] {warning['file']}:"
+        f"{warning['line']}:{warning['column']}: {warning['message']}"
+    )
+    if warning.get("counterexample"):
+        text += f"\n  counterexample: {warning['counterexample']}"
+    return text
+
+
+def _verify_via_daemon(args: argparse.Namespace) -> int:
+    """The ``verify --daemon`` path: one request to a warm daemon.
+
+    ``--jobs``/``--batch-size`` are ignored here — the daemon verifies
+    warm-serial by design (its speed comes from hot caches and the
+    dependency index, not a process pool) — as are ``--cache-dir`` and
+    ``--no-incremental``-adjacent knobs the daemon fixed at spawn time.
+    """
+    json_mode = args.format == "json"
+    from .verify.daemon import DaemonError, ensure_daemon
+
+    options = {
+        "budget": args.budget,
+        "tier": args.tier,
+        "incremental": not args.no_incremental,
+        "task_timeout": args.task_timeout,
+        "use_cache": not args.no_cache,
+        "stats": bool(args.stats) and not json_mode,
+        "profile": bool(args.profile) and not json_mode,
+        "trace": args.trace is not None,
+    }
+    try:
+        with ensure_daemon(socket_path=args.socket) as client:
+            result = client.verify(args.files, options)
+    except DaemonError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.trace is not None and "trace" in result:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            for row in result["trace"]:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+    status = 0
+    several = len(args.files) > 1
+    documents: list[dict] = []
+    for entry in result["files"]:
+        path = entry["path"]
+        report = entry.get("report")
+        error = entry.get("error")
+        if not json_mode and several:
+            print(f"{path}:")
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            status = max(status, 1)
+        if json_mode:
+            document: dict = {"path": path}
+            if report is not None:
+                document["report"] = report
+            if error is not None:
+                document["error"] = error
+            documents.append(document)
+            continue
+        if report is None:
+            continue
+        for warning in report["warnings"]:
+            print(_format_warning(warning))
+        print(
+            f"checked {report['methods_checked']} methods, "
+            f"{report['statements_checked']} statements in "
+            f"{report['seconds']:.2f}s; "
+            f"{len(report['warnings'])} warnings"
+        )
+        if entry.get("stats_text"):
+            print(entry["stats_text"])
+        if entry.get("profile_text"):
+            print(entry["profile_text"])
+    if json_mode:
+        print(json.dumps({"files": documents}, indent=2))
+    return status
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .verify.daemon import VerifyDaemon, default_socket_path
+
+    daemon = VerifyDaemon(
+        cache_dir=_cache_dir(args),
+        use_cache=not args.no_cache,
+        trace_path=args.trace,
+    )
+    if args.stdio:
+        daemon.serve_stdio()
+        return 0
+    socket_path = args.socket or default_socket_path()
+    print(f"repro daemon listening on {socket_path}", file=sys.stderr)
+    try:
+        daemon.serve_socket(socket_path)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     try:
         unit = api.compile_program(_read(args.file), filename=args.file)
@@ -266,7 +386,20 @@ def main(argv: list[str] | None = None) -> int:
     p_verify.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent verdict cache location (default: $REPRO_CACHE_DIR "
-        "or .repro-cache)",
+        "when set, else .repro-cache; an empty $REPRO_CACHE_DIR disables "
+        "the disk tier)",
+    )
+    p_verify.add_argument(
+        "--daemon", action="store_true",
+        help="verify through the warm daemon (spawning one if needed): "
+        "hot SMT caches plus dependency-aware re-verification across "
+        "invocations; --jobs/--batch-size/--cache-dir are ignored on "
+        "this path (the daemon is warm-serial and owns its cache)",
+    )
+    p_verify.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="daemon socket path for --daemon (default: "
+        "$REPRO_DAEMON_SOCKET or a per-project path under the temp dir)",
     )
     p_verify.add_argument(
         "--stats", action="store_true",
@@ -308,6 +441,37 @@ def main(argv: list[str] | None = None) -> int:
         "verdict disagreement",
     )
     p_verify.set_defaults(func=cmd_verify)
+
+    p_serve = subparsers.add_parser(
+        "serve",
+        help="run the verification daemon (NDJSON over a Unix socket)",
+    )
+    p_serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="Unix socket to listen on (default: $REPRO_DAEMON_SOCKET or "
+        "a per-project path under the temp dir); refuses to start if a "
+        "live daemon already owns it, replaces a stale socket file",
+    )
+    p_serve.add_argument(
+        "--stdio", action="store_true",
+        help="serve the protocol over stdin/stdout instead of a socket "
+        "(for tests and LSP-style embedding)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="disk tier for the daemon's SMT verdict cache (default: "
+        "$REPRO_CACHE_DIR when set, else .repro-cache; an empty "
+        "$REPRO_CACHE_DIR disables the disk tier)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="run the daemon without any SMT verdict cache",
+    )
+    p_serve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append each request's span rows to FILE as JSONL",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_run = subparsers.add_parser("run", help="invoke a top-level function")
     p_run.add_argument("file")

@@ -128,6 +128,10 @@ class VerifyStats:
     tasks_timed_out: int = 0
     #: obligations degraded to UNKNOWN after exhausting every retry
     tasks_failed: int = 0
+    #: tasks whose per-task deadline could not arm (no SIGALRM off the
+    #: main thread) and ran under the soft-deadline fallback instead:
+    #: clamped per-query budget plus post-hoc overrun conversion
+    deadlines_degraded: int = 0
     # -- checker tiering (repro.verify.tiered) ------------------------
     #: obligations the syntactic pattern-algebra tier decided without an
     #: SMT query (under ``tier=check`` they are decided *and* re-proved
@@ -169,6 +173,7 @@ class VerifyStats:
         self.tasks_retried += other.tasks_retried
         self.tasks_timed_out += other.tasks_timed_out
         self.tasks_failed += other.tasks_failed
+        self.deadlines_degraded += other.deadlines_degraded
         self.algebra_discharged += other.algebra_discharged
         self.algebra_fallbacks += other.algebra_fallbacks
         self.tier_mismatches += other.tier_mismatches
@@ -193,6 +198,7 @@ class VerifyStats:
             "tasks_retried": self.tasks_retried,
             "tasks_timed_out": self.tasks_timed_out,
             "tasks_failed": self.tasks_failed,
+            "deadlines_degraded": self.deadlines_degraded,
             "algebra_discharged": self.algebra_discharged,
             "algebra_fallbacks": self.algebra_fallbacks,
             "tier_mismatches": self.tier_mismatches,
@@ -233,6 +239,11 @@ class VerifyStats:
             f"tasks: {self.tasks_retried} retried, "
             f"{self.tasks_timed_out} timed out, {self.tasks_failed} failed"
         )
+        if self.deadlines_degraded:
+            lines.append(
+                f"deadlines: {self.deadlines_degraded} task(s) ran with a "
+                f"soft deadline (SIGALRM unavailable off the main thread)"
+            )
         lines.append(
             f"tiers: {self.algebra_discharged} obligations discharged by "
             f"the pattern algebra, {self.algebra_fallbacks} fell back to "

@@ -12,6 +12,7 @@ from .sink import (
     QUERY_PHASE_KEYS,
     ROW_KEYS,
     TRACE_SCHEMA_VERSION,
+    append_jsonl,
     read_jsonl,
     span_rows,
     validate_trace_rows,
@@ -29,6 +30,7 @@ __all__ = [
     "Span",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "append_jsonl",
     "read_jsonl",
     "span_rows",
     "validate_trace_rows",

@@ -83,6 +83,25 @@ def write_jsonl(path: str, roots: list[Span]) -> int:
     return len(rows)
 
 
+def append_jsonl(path: str, rows: list[dict], start_id: int = 0) -> int:
+    """Append pre-flattened rows to ``path``, re-basing ids.
+
+    The daemon writes one request's rows at a time into a long-lived
+    trace file; shifting ``id``/``parent`` by ``start_id`` (the number
+    of rows already in the file) keeps the concatenation a single
+    valid document for :func:`validate_trace_rows`.  Returns the row
+    count appended.
+    """
+    with open(path, "a", encoding="utf-8") as handle:
+        for row in rows:
+            shifted = dict(row)
+            shifted["id"] = row["id"] + start_id
+            if row["parent"] is not None:
+                shifted["parent"] = row["parent"] + start_id
+            handle.write(json.dumps(shifted, sort_keys=True) + "\n")
+    return len(rows)
+
+
 def read_jsonl(path: str) -> list[dict]:
     """Parse a trace file back into rows (raises on malformed JSON)."""
     rows = []

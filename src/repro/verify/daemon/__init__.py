@@ -1,0 +1,41 @@
+"""The warm verification daemon (``repro serve`` / ``verify --daemon``).
+
+A long-running server process that keeps every expensive piece of
+verification state hot across requests — the in-memory
+:class:`~repro.smt.cache.SolverCache`, the pre-warmed pattern-algebra
+signature memos, and (the daemon's own contribution) per-task
+*dependency fingerprints* with cached task outcomes, so re-verifying an
+edited file re-runs only the obligations whose dependencies changed.
+
+The pieces:
+
+* :mod:`repro.verify.daemon.protocol` — the newline-delimited-JSON
+  request/response wire format shared by server and client;
+* :mod:`repro.verify.daemon.index` — the dependency index: a
+  conservative structural fingerprint per verification task;
+* :mod:`repro.verify.daemon.server` — the daemon itself (Unix domain
+  socket, plus ``--stdio`` for tests and LSP-style embedding);
+* :mod:`repro.verify.daemon.client` — the CLI-side client with
+  auto-spawn, stale-socket recovery, and version-mismatch re-spawn.
+"""
+
+from .client import DaemonClient, DaemonError, ensure_daemon
+from .index import fingerprint_tasks, task_fingerprint
+from .protocol import (
+    PROTOCOL_VERSION,
+    daemon_version,
+    default_socket_path,
+)
+from .server import VerifyDaemon
+
+__all__ = [
+    "DaemonClient",
+    "DaemonError",
+    "PROTOCOL_VERSION",
+    "VerifyDaemon",
+    "daemon_version",
+    "default_socket_path",
+    "ensure_daemon",
+    "fingerprint_tasks",
+    "task_fingerprint",
+]

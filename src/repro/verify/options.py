@@ -95,7 +95,15 @@ class VerifyOptions:
         return replace(self, **changes)
 
     def validate(self) -> None:
-        """Raise ``ValueError`` on out-of-range settings."""
+        """Raise ``ValueError`` on out-of-range settings — and normalize.
+
+        ``jobs``/``batch_size`` arrive as strings from CLIs and config
+        files; validation converts them to ``int`` *in place*, so the
+        drivers downstream never see ``jobs="3"`` (which used to pass
+        validation un-normalized and then fail arithmetic later).
+        Booleans are rejected explicitly: ``jobs=True`` is ``int(True)
+        == 1`` by accident of the bool/int subtyping, never intent.
+        """
         # budget 0.0 is legal: it starves every query to UNKNOWN, which
         # the budget-threading tests use to make solving observable
         if self.budget is not None and self.budget < 0:
@@ -106,26 +114,8 @@ class VerifyOptions:
             raise ValueError(
                 f"task_timeout must be positive, got {self.task_timeout}"
             )
-        if self.jobs != "auto":
-            try:
-                jobs = int(self.jobs)
-            except (TypeError, ValueError):
-                raise ValueError(
-                    f"jobs must be a positive integer or 'auto', "
-                    f"got {self.jobs!r}"
-                ) from None
-            if jobs < 1:
-                raise ValueError(f"jobs must be >= 1, got {jobs}")
-        if self.batch_size != "auto":
-            try:
-                batch = int(self.batch_size)
-            except (TypeError, ValueError):
-                raise ValueError(
-                    f"batch_size must be a positive integer or 'auto', "
-                    f"got {self.batch_size!r}"
-                ) from None
-            if batch < 1:
-                raise ValueError(f"batch_size must be >= 1, got {batch}")
+        self.jobs = self._normalize_count("jobs", self.jobs)
+        self.batch_size = self._normalize_count("batch_size", self.batch_size)
         if self.format not in OUTPUT_FORMATS:
             raise ValueError(
                 f"format must be one of {OUTPUT_FORMATS}, got {self.format!r}"
@@ -134,6 +124,25 @@ class VerifyOptions:
             raise ValueError(
                 f"tier must be one of {TIERS}, got {self.tier!r}"
             )
+
+    @staticmethod
+    def _normalize_count(name: str, value) -> int | str:
+        """``"auto"`` or a positive int; digit strings become ints."""
+        if value == "auto":
+            return "auto"
+        if isinstance(value, bool):
+            raise ValueError(
+                f"{name} must be a positive integer or 'auto', got {value!r}"
+            )
+        try:
+            count = int(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{name} must be a positive integer or 'auto', got {value!r}"
+            ) from None
+        if count < 1:
+            raise ValueError(f"{name} must be >= 1, got {count}")
+        return count
 
 
 #: the legacy ``api.verify`` keywords that map 1:1 onto option fields

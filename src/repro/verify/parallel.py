@@ -117,20 +117,31 @@ class TaskTimeout(Exception):
     """A task overran its per-task wall-clock deadline."""
 
 
+def deadline_armable() -> bool:
+    """Can a :func:`task_deadline` actually interrupt this thread?
+
+    ``SIGALRM``/``setitimer`` only arm on the main thread of a process
+    on platforms that have them.  Pool workers always qualify (they run
+    tasks on their main thread); a daemon connection-handler thread
+    never does — callers on such threads must take the soft-deadline
+    path in :func:`run_one_task` instead of assuming the alarm works.
+    """
+    return (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
 @contextlib.contextmanager
 def task_deadline(seconds: float | None):
     """Raise :class:`TaskTimeout` in this thread after ``seconds``.
 
-    Uses ``SIGALRM``/``setitimer``, so it only arms on the main thread
-    of a process on platforms that have it (pool workers always qualify:
-    they run tasks on their main thread).  Anywhere else the deadline
-    degrades to a no-op — the parent-side watchdog still bounds the run.
+    Arms only where :func:`deadline_armable` holds; anywhere else this
+    is a no-op and the caller is responsible for the degraded path
+    (budget clamping + post-hoc overrun conversion in
+    :func:`run_one_task`, the parent-side watchdog for pool runs).
     """
-    if (
-        seconds is None
-        or not hasattr(signal, "setitimer")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if seconds is None or not deadline_armable():
         yield
         return
 
@@ -222,25 +233,54 @@ def run_one_task(
     outcome (partial warnings — and partial spans — are discarded: how
     far a deadline lets a task get is scheduler noise); other failures
     propagate.
+
+    Off the main thread (a daemon handler), the ``SIGALRM`` deadline
+    cannot arm, so the timeout degrades instead of silently vanishing:
+    the per-query budget is clamped to the task timeout (bounding the
+    worst single overshoot, since a soft deadline cannot interrupt a
+    query mid-solve), an overrun is converted post-hoc into the same
+    timed-out outcome the alarm would have produced, and the
+    degradation is surfaced on ``VerifyStats.deadlines_degraded`` and
+    as a ``deadline-degraded`` trace event.
     """
+    degraded = task_timeout is not None and not deadline_armable()
+    effective_budget = budget
+    if degraded:
+        effective_budget = (
+            task_timeout if budget is None else min(budget, task_timeout)
+        )
     tracer = Tracer() if trace else NULL_TRACER
     verifier = Verifier(
-        table, budget=budget, cache=cache, incremental=incremental,
+        table, budget=effective_budget, cache=cache, incremental=incremental,
         tracer=tracer, tier=tier,
     )
+    started = time.perf_counter()
     try:
         with task_deadline(task_timeout):
             maybe_fail_task(task.label)
             verifier.run_task(task)
     except TaskTimeout:
         return _timed_out_outcome(table, task, task_timeout, trace)
-    return TaskOutcome(
+    if degraded and time.perf_counter() - started > task_timeout:
+        outcome = _timed_out_outcome(table, task, task_timeout, trace)
+        _mark_degraded(outcome)
+        return outcome
+    outcome = TaskOutcome(
         warnings=verifier.diag.warnings,
         methods_checked=verifier.methods_checked,
         statements_checked=verifier.statements_checked,
         stats=verifier.session.stats,
         trace=tracer.roots[0] if trace and tracer.roots else None,
     )
+    if degraded:
+        _mark_degraded(outcome)
+    return outcome
+
+
+def _mark_degraded(outcome: TaskOutcome) -> None:
+    outcome.stats.deadlines_degraded = 1
+    if outcome.trace is not None:
+        outcome.trace.event("deadline-degraded")
 
 
 def _degraded_trace(task: VerifyTask, event: str, **attrs) -> Span:

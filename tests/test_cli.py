@@ -320,6 +320,38 @@ def test_verify_no_cache_leaves_no_cache_dir(program, tmp_path, capsys):
     assert not os.path.exists(cache_dir)
 
 
+def test_cache_dir_env_semantics(monkeypatch, tmp_path):
+    """$REPRO_CACHE_DIR: unset -> default, set -> that dir, empty ->
+    disk tier off (the old ``env or DEFAULT`` fallthrough silently
+    re-enabled the default on an empty value)."""
+    import argparse
+
+    from repro.cli import _cache_dir
+    from repro.smt.diskcache import DEFAULT_CACHE_DIR
+
+    args = argparse.Namespace(no_cache=False, cache_dir=None)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert _cache_dir(args) == DEFAULT_CACHE_DIR
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert _cache_dir(args) == str(tmp_path / "elsewhere")
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    assert _cache_dir(args) is None
+    # the --cache-dir flag still beats the env either way
+    flagged = argparse.Namespace(no_cache=False, cache_dir="explicit")
+    assert _cache_dir(flagged) == "explicit"
+
+
+def test_empty_cache_dir_env_disables_disk_tier(program, monkeypatch,
+                                                tmp_path, capsys):
+    import os
+
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    assert main(["verify", program(BUGGY)]) == 0
+    capsys.readouterr()
+    assert not os.path.exists(tmp_path / ".repro-cache")
+
+
 def test_run_function(program, capsys):
     assert main(["run", program(CLEAN), "double", "21"]) == 0
     assert capsys.readouterr().out.strip() == "42"

@@ -111,6 +111,34 @@ def test_validate_accepts_auto_jobs_and_zero_budget():
     VerifyOptions(jobs="auto", budget=0.0).validate()
 
 
+def test_validate_normalizes_numeric_strings_in_place():
+    # config files and CLIs hand over strings; after validate() the
+    # drivers must never see jobs="3" again
+    opts = VerifyOptions(jobs="3", batch_size="8")
+    opts.validate()
+    assert opts.jobs == 3 and type(opts.jobs) is int
+    assert opts.batch_size == 8 and type(opts.batch_size) is int
+
+
+def test_validate_keeps_auto_and_ints_as_is():
+    opts = VerifyOptions(jobs="auto", batch_size=4)
+    opts.validate()
+    assert opts.jobs == "auto"
+    assert opts.batch_size == 4
+
+
+@pytest.mark.parametrize("bad", [
+    {"jobs": True},
+    {"jobs": False},
+    {"batch_size": True},
+])
+def test_validate_rejects_booleans(bad):
+    # bool subclasses int, so int(True) == 1 would slip through as a
+    # silent typo; reject it loudly instead
+    with pytest.raises(ValueError, match="positive integer or 'auto'"):
+        VerifyOptions(**bad).validate()
+
+
 def test_incremental_flag_is_threaded(unit):
     """The cmd_verify bug: ``incremental`` must actually reach the
     session (historically the CLI never passed it)."""
