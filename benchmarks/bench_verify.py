@@ -24,7 +24,15 @@ configurations and writes the measurements to ``BENCH_verify.json``:
   CPU-time protocol comparing the default ``tier=auto`` pipeline (the
   syntactic pattern algebra discharges what it can before SMT) against
   ``tier=smt-only``; the lane also records how many obligations the
-  algebra discharged.
+  algebra discharged;
+* **per-backend lanes** — the ``reference`` / ``incremental`` /
+  ``portfolio`` backends on the same no-cache serial workload
+  (best-of-3 interleaved CPU time; the reference and incremental lanes
+  double as the from-scratch/incremental pair above).  The portfolio
+  floor: racing must never be slower than the *worst* single strategy
+  — the whole point of a portfolio — and a healthy run disqualifies
+  nothing.  Per-strategy query attribution is recorded so the JSON
+  shows who actually won the races.
 
 Run it directly (``python benchmarks/bench_verify.py``) to refresh the
 JSON; ``test_bench_verify.py`` asserts the floor the ISSUE demands
@@ -88,6 +96,7 @@ def verify_corpus_cpu(
     use_cache: bool,
     incremental: bool = True,
     tier: str = "auto",
+    backend: str | None = None,
 ):
     """One full pass; returns (wall seconds, CPU seconds, reports).
 
@@ -99,16 +108,22 @@ def verify_corpus_cpu(
     processes), which stay on wall-clock.
     """
     cache = api.GLOBAL_CACHE if use_cache else None
+    # The legacy flag folds into the backend name here, so the bench
+    # exercises the modern options path without DeprecationWarnings.
+    if backend is None:
+        backend = "incremental" if incremental else "reference"
     start = time.perf_counter()
     cpu_start = time.process_time()
     reports = {
         group: api.verify(
             units[group],
-            cache=cache,
-            jobs=jobs,
-            cache_dir=cache_dir,
-            incremental=incremental,
-            tier=tier,
+            options=api.VerifyOptions(
+                cache=cache,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                tier=tier,
+                backend=backend,
+            ),
         )
         for group in GROUPS
     }
@@ -156,24 +171,34 @@ def run_bench(jobs: int = JOBS) -> dict:
             t_nc, c_nc, _ = verify_corpus_cpu(units, 1, None, False)
             nocache_serial_s = min(nocache_serial_s, t_nc)
             nocache_cpu_s = min(nocache_cpu_s, c_nc)
-        # The default engine is incremental; measure the from-scratch
-        # reference engine on the same no-cache workload to isolate the
-        # state-reuse speedup from cache effects.  Three interleaved
-        # samples per engine, symmetrically, so neither side wins on
-        # sample count.
+        # The per-backend lanes: the default incremental engine, the
+        # from-scratch reference engine, and the portfolio racer, all
+        # on the same no-cache workload so engine differences are
+        # isolated from cache effects.  Three interleaved samples per
+        # backend, symmetrically, so no lane wins on sample count.
+        # reference doubles as the historical "from-scratch" lane and
+        # incremental as the historical default-engine lane.
         incremental_cpu_s = None
         fromscratch_cpu_s = None
+        portfolio_cpu_s = None
         scratch = None
+        portfolio = None
         for _ in range(3):
             _, c_inc, _ = verify_corpus_cpu(units, 1, None, False)
             if incremental_cpu_s is None or c_inc < incremental_cpu_s:
                 incremental_cpu_s = c_inc
             _, c_scr, scratch_reports = verify_corpus_cpu(
-                units, 1, None, False, incremental=False
+                units, 1, None, False, backend="reference"
             )
             if fromscratch_cpu_s is None or c_scr < fromscratch_cpu_s:
                 fromscratch_cpu_s = c_scr
                 scratch = scratch_reports
+            _, c_pf, portfolio_reports = verify_corpus_cpu(
+                units, 1, None, False, backend="portfolio"
+            )
+            if portfolio_cpu_s is None or c_pf < portfolio_cpu_s:
+                portfolio_cpu_s = c_pf
+                portfolio = portfolio_reports
         # The tiered lane: the pattern-algebra first pass (tier=auto,
         # the default every other lane already runs) against the pure
         # SMT pipeline (tier=smt-only) on the same cold no-cache serial
@@ -207,6 +232,18 @@ def run_bench(jobs: int = JOBS) -> dict:
     algebra_discharged = sum(
         r.solver_stats.algebra_discharged for r in tiered.values()
     )
+    # Who won the races: per-strategy query counts across the portfolio
+    # pass, plus the disqualification count a healthy run pins at zero.
+    portfolio_strategy_queries: dict[str, int] = {}
+    portfolio_disqualified = 0
+    for report in portfolio.values():
+        for engine, stats in report.solver_stats.per_backend.items():
+            portfolio_strategy_queries[engine] = (
+                portfolio_strategy_queries.get(engine, 0) + stats.queries
+            )
+        portfolio_disqualified += len(
+            report.solver_stats.backends_disqualified
+        )
     for label, reports in (
         ("warm", warm_reports),
         ("parallel-cold", par_cold),
@@ -214,6 +251,7 @@ def run_bench(jobs: int = JOBS) -> dict:
         ("no-cache", plain),
         ("no-cache-parallel", par_plain),
         ("from-scratch", scratch),
+        ("portfolio", portfolio),
         ("tier-auto", tiered),
         ("tier-smt-only", smt_only),
     ):
@@ -225,7 +263,7 @@ def run_bench(jobs: int = JOBS) -> dict:
 
     return {
         "benchmark": "bench_verify",
-        "schema_version": 3,
+        "schema_version": 4,
         "date": time.strftime("%Y-%m-%d"),
         "python": platform.python_version(),
         "cpus": usable_cpus(),
@@ -249,6 +287,15 @@ def run_bench(jobs: int = JOBS) -> dict:
         "tier_auto_serial_s": round(tier_auto_cpu_s, 4),
         "tier_smt_only_serial_s": round(tier_smt_only_cpu_s, 4),
         "algebra_discharged": algebra_discharged,
+        # Per-backend lanes (cold serial no-cache CPU, best-of-3
+        # interleaved); reference/incremental alias the two lanes above.
+        "backend_reference_serial_s": round(fromscratch_cpu_s, 4),
+        "backend_incremental_serial_s": round(incremental_cpu_s, 4),
+        "backend_portfolio_serial_s": round(portfolio_cpu_s, 4),
+        "portfolio_strategy_queries": dict(
+            sorted(portfolio_strategy_queries.items())
+        ),
+        "portfolio_disqualified": portfolio_disqualified,
         "tasks_retried": tasks_retried,
         "tasks_timed_out": tasks_timed_out,
         "tasks_failed": tasks_failed,
@@ -265,6 +312,11 @@ def run_bench(jobs: int = JOBS) -> dict:
         ),
         "speedup_tiered_vs_smt_only": round(
             tier_smt_only_cpu_s / tier_auto_cpu_s, 2
+        ),
+        # >= 1.0 means the portfolio kept its promise: never slower
+        # than the worst single strategy it raced.
+        "speedup_portfolio_vs_worst_single": round(
+            max(fromscratch_cpu_s, incremental_cpu_s) / portfolio_cpu_s, 2
         ),
     }
 

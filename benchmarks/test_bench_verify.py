@@ -124,6 +124,38 @@ def test_tiered_cold_pass_is_not_slower_than_smt_only(results):
     )
 
 
+def test_portfolio_is_never_slower_than_the_worst_single_strategy(results):
+    """Racing must keep the portfolio promise: worst-case insurance.
+
+    The portfolio races the single strategies and takes the first
+    definitive verdict, so its cost per obligation is bounded by the
+    fastest lane plus cancellation latency — it must never lose to the
+    *worst* single strategy (that is the entire point of racing).  On
+    this corpus the GIL serialises the two CPU-bound lanes, so the
+    portfolio's CPU time tracks the reference lane (the slower single
+    strategy) rather than beating it; the floor uses a 1.25x tolerance
+    over the worst single lane to absorb CPU-time noise plus the real
+    thread/cancellation overhead, and pins that no strategy was
+    disqualified on a healthy run.
+    """
+    portfolio = results["backend_portfolio_serial_s"]
+    worst = max(
+        results["backend_reference_serial_s"],
+        results["backend_incremental_serial_s"],
+    )
+    assert portfolio <= worst * 1.25, (
+        f"portfolio run {portfolio:.3f}s vs worst single strategy "
+        f"{worst:.3f}s: racing costs more than its insurance is worth"
+    )
+    assert results["portfolio_disqualified"] == 0, (
+        "a healthy benchmark pass disqualified a strategy"
+    )
+    wins = results["portfolio_strategy_queries"]
+    assert sum(wins.values()) > 0 and set(wins) <= {
+        "incremental", "reference", "z3",
+    }
+
+
 def test_fault_tolerance_is_invisible_on_a_healthy_run(results):
     """The submit-based pipeline must cost nothing when nothing fails.
 
@@ -153,6 +185,12 @@ def test_benchmark_json_is_fresh_and_complete(results):
         "tier_auto_serial_s",
         "tier_smt_only_serial_s",
         "algebra_discharged",
+        "backend_reference_serial_s",
+        "backend_incremental_serial_s",
+        "backend_portfolio_serial_s",
+        "portfolio_strategy_queries",
+        "portfolio_disqualified",
+        "speedup_portfolio_vs_worst_single",
         "speedup_incremental_vs_fromscratch",
         "speedup_tiered_vs_smt_only",
         "warm_cache_hit_rate",

@@ -1,18 +1,29 @@
-"""High-level entry points for the library.
+"""The one stable entry point for the library.
 
 >>> from repro import api
 >>> unit = api.compile_program(source_text)
->>> report = api.verify(unit)
+>>> report = api.verify(unit, options=api.VerifyOptions(backend="portfolio"))
 >>> interp = api.interpreter(unit)
 
-Verification takes its configuration either as the consolidated
-:class:`VerifyOptions` object (``api.verify(unit, options=...)``) or as
-the historical keyword arguments; the two forms are equivalent and
-mutually exclusive.
+Everything in ``__all__`` is the supported surface; reaching into
+``repro.verify.*`` / ``repro.smt.*`` internals is not covered by any
+compatibility promise.  Verification takes its configuration as the
+consolidated :class:`VerifyOptions` object (``api.verify(unit,
+options=...)``); the historical loose keyword arguments are still
+accepted for one transition window but emit ``DeprecationWarning``.
+
+Solver backends are part of the stable surface: the
+:class:`SolverBackend` protocol, the registry
+(:func:`register_backend`, :func:`available_backends`,
+:func:`backend_names`), and selection via ``VerifyOptions.backend`` —
+a third-party backend subclasses the protocol, registers a name, and
+is selectable everywhere (API, CLI, parallel workers, daemon) without
+touching internals.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from .errors import Diagnostics
@@ -20,16 +31,27 @@ from .lang import analyze, ast, parse_program
 from .lang.symbols import ProgramTable
 from .obs import NULL_TRACER, Tracer, write_jsonl
 from .runtime import Interpreter
+from .smt.backend import (
+    SolverBackend,
+    available_backends,
+    backend_names,
+    register_backend,
+)
 from .smt.cache import GLOBAL_CACHE, SolverCache
 from .verify import VerificationReport, Verifier
 from .verify.options import VerifyOptions, coalesce
 
 __all__ = [
     "CompiledUnit",
+    "SolverBackend",
+    "VerificationReport",
     "VerifyOptions",
+    "available_backends",
+    "backend_names",
     "compile_and_verify",
     "compile_program",
     "interpreter",
+    "register_backend",
     "verify",
 ]
 
@@ -67,6 +89,7 @@ def verify(
     format: str = _UNSET,
     tier: str = _UNSET,
     batch_size: int | str = _UNSET,
+    backend: str | None = _UNSET,
     *,
     options: VerifyOptions | None = None,
 ) -> VerificationReport:
@@ -115,13 +138,20 @@ def verify(
     keeps single-task batches under ``task_timeout`` so deadlines
     attribute to exactly one method.
 
-    ``incremental`` selects the solver engine: the default keeps one
-    persistent incremental solver per encoding context (shared Tseitin
-    encoding, axioms, theory lemmas, learned clauses, and undoable
-    congruence-closure state across a statement's query chain and
-    across iterative-deepening depths); ``False`` rebuilds the solver
-    from scratch per query and per deepening depth, which is the
-    reference engine the differential test-suite compares against.
+    ``backend`` selects the solving strategy by registry name (see
+    :mod:`repro.smt.backend`): ``"incremental"`` (persistent engines,
+    the default), ``"reference"`` (rebuild-per-query, the differential
+    baseline), ``"z3"`` (optional z3py, when installed), or
+    ``"portfolio"`` (race the available strategies per obligation and
+    take the first definitive verdict).  All backends produce
+    byte-identical reports on conclusive corpora — models always come
+    from the canonical reference solve.
+
+    ``incremental`` is the historical way to pick between the first
+    two backends and is deprecated as ``False`` (an alias for
+    ``backend="reference"``); an explicit ``backend`` always wins, and
+    contradictory combinations are rejected by
+    :meth:`VerifyOptions.validate`.
 
     ``task_timeout`` bounds each verification task's (method's) wall
     time; an obligation that overruns it is reported with an
@@ -161,9 +191,17 @@ def verify(
             ("format", format),
             ("tier", tier),
             ("batch_size", batch_size),
+            ("backend", backend),
         )
         if value is not _UNSET
     }
+    if legacy:
+        warnings.warn(
+            "passing loose keyword arguments to api.verify is deprecated; "
+            f"use options=VerifyOptions({', '.join(sorted(legacy))}) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     opts = coalesce(options, legacy)
     opts.validate()
     # The tracer: an externally-owned one (the CLI's, collecting many

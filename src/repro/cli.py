@@ -134,6 +134,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         tracer=tracer,
         format=args.format,
         tier=args.tier,
+        backend=args.backend,
     )
     try:
         options.validate()
@@ -232,6 +233,7 @@ def _verify_via_daemon(args: argparse.Namespace) -> int:
         "budget": args.budget,
         "tier": args.tier,
         "incremental": not args.no_incremental,
+        "backend": args.backend,
         "task_timeout": args.task_timeout,
         "use_cache": not args.no_cache,
         "stats": bool(args.stats) and not json_mode,
@@ -417,8 +419,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_verify.add_argument(
         "--no-incremental", action="store_true",
-        help="rebuild the solver from scratch for every query instead "
-        "of reusing the persistent incremental engine",
+        help="deprecated alias for --backend reference: rebuild the "
+        "solver from scratch for every query instead of reusing the "
+        "persistent incremental engine",
+    )
+    p_verify.add_argument(
+        "--backend",
+        choices=("reference", "incremental", "z3", "portfolio"),
+        default=None,
+        help="solving strategy: 'incremental' (persistent engines, the "
+        "default), 'reference' (rebuild per query), 'z3' (optional "
+        "z3py, when installed), or 'portfolio' (race the available "
+        "strategies per obligation; first definitive verdict wins)",
     )
     p_verify.add_argument(
         "--trace", default=None, metavar="FILE",

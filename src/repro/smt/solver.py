@@ -348,7 +348,7 @@ class Solver:
 
         for _ in range(self.MAX_ROUNDS):
             self.stats.sat_rounds += 1
-            if time.monotonic() > self._deadline:
+            if time.monotonic() > self._deadline or budget.cancelled():
                 return Result.UNKNOWN
             t0 = time.perf_counter()
             satisfiable = sat.solve()
@@ -516,7 +516,7 @@ class Solver:
 
         for _ in range(self.MAX_ROUNDS):
             self.stats.sat_rounds += 1
-            if time.monotonic() > self._deadline:
+            if time.monotonic() > self._deadline or budget.cancelled():
                 return Result.UNKNOWN
             t0 = time.perf_counter()
             satisfiable = sat.solve(assumptions)

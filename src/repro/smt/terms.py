@@ -14,6 +14,7 @@ normalising comparisons to ``<=`` and ``=``).
 from __future__ import annotations
 
 import itertools
+import threading
 from contextlib import contextmanager
 from typing import Iterable, Sequence
 
@@ -77,12 +78,24 @@ class Term:
 
     _interned: dict[tuple, "Term"] = {}
     _counter = itertools.count()
+    #: guards the miss path of ``__new__`` when portfolio strategies
+    #: race in threads; two threads interning the same structure must
+    #: get the same node or pointer equality breaks everywhere
+    _lock = threading.Lock()
 
     def __new__(cls, kind: str, args: tuple, payload, sort: Sort):
         key = (kind, args, payload, sort)
         cached = cls._interned.get(key)
         if cached is not None:
             return cached
+        with cls._lock:
+            cached = cls._interned.get(key)
+            if cached is not None:
+                return cached
+            return cls._intern_new(key, kind, args, payload, sort)
+
+    @classmethod
+    def _intern_new(cls, key, kind, args, payload, sort):
         term = object.__new__(cls)
         term.kind = kind
         term.args = args

@@ -20,7 +20,7 @@ Responses::
 
 ``verify`` options mirror the scalar :class:`repro.api.VerifyOptions`
 fields that affect verdicts (``budget``, ``tier``, ``incremental``,
-``task_timeout``, ``use_cache``) plus daemon extras: ``dep_index``
+``backend``, ``task_timeout``, ``use_cache``) plus daemon extras: ``dep_index``
 (default true) to enable dependency-aware outcome reuse, ``stats`` /
 ``profile`` to render the ``--stats``/``--profile`` tables
 server-side, and ``trace`` to ship the request's span rows back in the
@@ -51,7 +51,7 @@ import os
 import tempfile
 
 #: bump on any incompatible wire-format change
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: environment override for the daemon socket location
 SOCKET_ENV = "REPRO_DAEMON_SOCKET"

@@ -82,6 +82,7 @@ _VERIFY_OPTION_DEFAULTS = {
     "budget": None,
     "tier": "auto",
     "incremental": True,
+    "backend": None,
     "task_timeout": None,
     "use_cache": True,
     "dep_index": True,
@@ -100,8 +101,8 @@ def _options_signature(opts: dict) -> str:
     participates, so changing e.g. the tier flushes the outcome cache
     instead of replaying verdicts produced under different rules.
     """
-    keys = ("budget", "tier", "incremental", "task_timeout", "use_cache",
-            "trace")
+    keys = ("budget", "tier", "incremental", "backend", "task_timeout",
+            "use_cache", "trace")
     return repr([(k, opts[k]) for k in keys])
 
 
@@ -231,6 +232,7 @@ class VerifyDaemon:
                 budget=opts["budget"],
                 tier=opts["tier"],
                 incremental=bool(opts["incremental"]),
+                backend=opts["backend"],
                 task_timeout=opts["task_timeout"],
             ).validate()
         except (TypeError, ValueError) as exc:
@@ -337,6 +339,7 @@ class VerifyDaemon:
                             table, task, opts["budget"], cache,
                             bool(opts["incremental"]), opts["task_timeout"],
                             tracing, opts["tier"],
+                            backend=opts["backend"],
                         )
                     except Exception as exc:
                         outcome = _failed_outcome(table, task, exc, tracing)

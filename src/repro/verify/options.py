@@ -25,6 +25,7 @@ contract), plus the observability additions:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING
 
@@ -38,6 +39,10 @@ OUTPUT_FORMATS = ("text", "json")
 
 #: accepted values of ``VerifyOptions.tier`` (see repro.verify.tiered)
 TIERS = ("auto", "smt-only", "algebra-only", "check")
+
+#: accepted values of ``VerifyOptions.backend`` (see repro.smt.backend);
+#: None selects by the legacy ``incremental`` flag
+BACKENDS = ("reference", "incremental", "z3", "portfolio")
 
 
 @dataclass
@@ -81,10 +86,32 @@ class VerifyOptions:
     #: "check" (run both on algebra-decidable obligations and fail on
     #: disagreement -- see :mod:`repro.verify.tiered`)
     tier: str = "auto"
+    #: solving strategy by registry name (see :mod:`repro.smt.backend`):
+    #: "reference" (rebuild-per-query), "incremental" (persistent
+    #: engines, the default), "z3" (optional z3py), "portfolio" (race
+    #: them, first definitive verdict wins).  None defers to the legacy
+    #: ``incremental`` flag.  Precedence story: an explicit ``backend``
+    #: always wins; ``incremental=False`` is a deprecated alias for
+    #: ``backend="reference"``; combining ``incremental=False`` with a
+    #: conflicting explicit backend is rejected by :meth:`validate`.
+    backend: str | None = None
 
     @property
     def use_cache(self) -> bool:
         return self.cache is not None
+
+    @property
+    def resolved_backend(self) -> str:
+        """The backend name the engines will actually run.
+
+        The single documented precedence rule: explicit ``backend``
+        wins, else ``incremental`` picks between the two historical
+        engines ("incremental" when True — the default — "reference"
+        when False).
+        """
+        if self.backend:
+            return self.backend
+        return "incremental" if self.incremental else "reference"
 
     @property
     def trace_enabled(self) -> bool:
@@ -124,6 +151,26 @@ class VerifyOptions:
             raise ValueError(
                 f"tier must be one of {TIERS}, got {self.tier!r}"
             )
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if not self.incremental:
+            if self.backend is not None and self.backend != "reference":
+                # One coherent message for every contradictory combo:
+                # the two knobs steer the same engine choice.
+                raise ValueError(
+                    "incremental=False selects the reference backend and "
+                    f"conflicts with backend={self.backend!r}; drop "
+                    "incremental=False (deprecated) and pass backend= alone"
+                )
+            if self.backend is None:
+                warnings.warn(
+                    "incremental=False is deprecated; use "
+                    "backend='reference' instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
 
     @staticmethod
     def _normalize_count(name: str, value) -> int | str:

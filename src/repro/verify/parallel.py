@@ -190,6 +190,7 @@ def _init_worker(
     task_timeout: float | None = None,
     trace: bool = False,
     tier: str = "auto",
+    backend: str | None = None,
 ) -> None:
     """Build this worker's warm state (runs once per process).
 
@@ -205,6 +206,7 @@ def _init_worker(
     _WORKER["task_timeout"] = task_timeout
     _WORKER["trace"] = trace
     _WORKER["tier"] = tier
+    _WORKER["backend"] = backend
     if tier != "smt-only":
         from .tiered import warm_algebra
 
@@ -220,6 +222,7 @@ def run_one_task(
     task_timeout: float | None,
     trace: bool = False,
     tier: str = "auto",
+    backend: str | None = None,
 ) -> TaskOutcome:
     """Verify one task, rebuilding the solver session.
 
@@ -252,7 +255,7 @@ def run_one_task(
     tracer = Tracer() if trace else NULL_TRACER
     verifier = Verifier(
         table, budget=effective_budget, cache=cache, incremental=incremental,
-        tracer=tracer, tier=tier,
+        tracer=tracer, tier=tier, backend=backend,
     )
     started = time.perf_counter()
     try:
@@ -355,6 +358,7 @@ def verify_method_task(task: VerifyTask) -> TaskOutcome:
         _WORKER.get("task_timeout"),
         _WORKER.get("trace", False),
         _WORKER.get("tier", "auto"),
+        backend=_WORKER.get("backend"),
     )
 
 
@@ -606,6 +610,7 @@ def _run_rounds(
     trace: bool = False,
     tier: str = "auto",
     batch_size: int = 1,
+    backend: str | None = None,
 ) -> tuple[dict[int, TaskOutcome], int]:
     """The pool rounds plus serial fallback; every task gets an outcome.
 
@@ -645,6 +650,7 @@ def _run_rounds(
                 task_timeout,
                 trace,
                 tier,
+                backend,
             ),
         )
         try:
@@ -677,7 +683,7 @@ def _run_rounds(
             try:
                 outcomes[index] = run_one_task(
                     table, task, budget, cache, incremental, task_timeout,
-                    trace, tier,
+                    trace, tier, backend=backend,
                 )
             except Exception as exc:
                 outcomes[index] = _failed_outcome(table, task, exc, trace)
@@ -698,6 +704,7 @@ def verify_serial_with_timeout(
     tracer=NULL_TRACER,
     options=None,
     tier: str = "auto",
+    backend: str | None = None,
 ) -> VerificationReport:
     """The serial driver with per-task deadlines and degradation.
 
@@ -713,6 +720,7 @@ def verify_serial_with_timeout(
         incremental = options.incremental
         task_timeout = options.task_timeout
         tier = options.tier
+        backend = options.backend
     active_fault()  # reject a malformed REPRO_FAULT loudly, up front
     start = time.perf_counter()
     trace = tracer.enabled
@@ -721,7 +729,7 @@ def verify_serial_with_timeout(
         try:
             outcome = run_one_task(
                 table, task, budget, cache, incremental, task_timeout,
-                trace, tier,
+                trace, tier, backend=backend,
             )
         except Exception as exc:
             outcome = _failed_outcome(table, task, exc, trace)
@@ -744,6 +752,7 @@ def verify_parallel(
     options=None,
     tier: str = "auto",
     batch_size: int | str = "auto",
+    backend: str | None = None,
 ) -> VerificationReport:
     """Verify every task of ``table`` on a pool of ``jobs`` processes.
 
@@ -765,6 +774,7 @@ def verify_parallel(
         task_timeout = options.task_timeout
         tier = options.tier
         batch_size = options.batch_size
+        backend = options.backend
     active_fault()  # reject a malformed REPRO_FAULT loudly, up front
     tasks = list(iter_tasks(table))
     requested = jobs
@@ -788,7 +798,7 @@ def verify_parallel(
         if task_timeout is None:
             report = Verifier(
                 table, budget=budget, cache=cache, incremental=incremental,
-                tracer=tracer, tier=tier,
+                tracer=tracer, tier=tier, backend=backend,
             ).run()
         else:
             report = verify_serial_with_timeout(
@@ -799,12 +809,13 @@ def verify_parallel(
                 task_timeout=task_timeout,
                 tracer=tracer,
                 tier=tier,
+                backend=backend,
             )
         report.solver_stats.parallel_decision = decision
         return report
     outcomes, retried = _run_rounds(
         table, tasks, jobs, budget, use_cache, cache_dir, incremental,
-        task_timeout, tracer.enabled, tier, batch_size,
+        task_timeout, tracer.enabled, tier, batch_size, backend=backend,
     )
     assert len(outcomes) == len(tasks), "every task must have an outcome"
     if tracer.enabled:

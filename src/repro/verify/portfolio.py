@@ -1,0 +1,236 @@
+"""Portfolio solving: race the single-strategy backends per obligation.
+
+The honest incremental-vs-reference margin is ~1.05-1.1x end to end
+(BENCH_verify.json) — no single strategy dominates, and on a
+pathological obligation the strategies can diverge wildly (a deep
+rebuild-per-query pass vs. a warm engine's near-free re-check).  The
+:class:`PortfolioBackend` therefore runs every available strategy
+concurrently against the same obligation and takes the **first
+definitive verdict** (SAT or UNSAT); losers are cancelled through the
+thread-local budget hooks (:mod:`repro.smt.budget`) that the SAT/LIA
+hot loops already poll.
+
+Correctness discipline:
+
+* **Shared axiom universe.**  Each racer solves against a
+  :class:`~repro.smt.plugin.PluginView` of the obligation's plugin:
+  trigger callbacks (which mint fresh variables and register nested
+  triggers) fire exactly once process-wide, under the plugin lock, no
+  matter which racer gets there first — so racing changes *when* work
+  happens, never *what* terms exist.
+* **Canonical models.**  Queries that need a counterexample model are
+  never raced; they are answered by the reference single-query solve,
+  exactly as the incremental engine has always done, so reports are
+  byte-identical to ``--backend reference``.
+* **Graceful degradation.**  A strategy that crashes (or ignores
+  cancellation) is disqualified for the rest of the run and its reason
+  surfaced on ``--stats``; the obligation is still answered by the
+  surviving strategies, or by a direct reference solve when none
+  survive.  A disqualification never fails an obligation — the PR 4
+  fault-tolerance discipline, applied to engines instead of workers.
+
+Verdict-equality across strategies is not assumed: it is enforced by
+the differential harness (``tests/smt/test_backend_parity.py``), which
+asserts byte-identical reports for every registered backend over the
+corpus and a seeded generated corpus.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, OrderedDict
+
+from ..smt import budget
+from ..smt.backend import (
+    GLOBAL_CACHE,
+    CheckOutcome,
+    ReferenceBackend,
+    SolverBackend,
+    available_backends,
+    create_backend,
+)
+from ..smt.solver import Result, Solver
+
+
+class PortfolioBackend(SolverBackend):
+    """Race N strategies per obligation; first definitive verdict wins."""
+
+    name = "portfolio"
+    capabilities = frozenset({"models", "portfolio"})
+
+    #: single-strategy lanes raced per obligation, in priority order:
+    #: ties (both definitive by the first wakeup) and all-UNKNOWN runs
+    #: resolve to the earliest lane, so results are deterministic
+    STRATEGIES = ("incremental", "reference", "z3")
+
+    #: per-(strategy, plugin) views kept alive; mirrors the incremental
+    #: backend's engine LRU so a view (and thus its engine) stays stable
+    #: across an obligation's query chain
+    MAX_VIEWS = 8
+
+    #: seconds a loser gets to notice cancellation after the winner
+    #: reports; the hot loops poll every few hundred microseconds, so
+    #: only a genuinely wedged strategy (a hang, not a slow solve) is
+    #: still alive after this and gets disqualified
+    CANCEL_GRACE = 1.0
+
+    def __init__(self, budget=None, cache=GLOBAL_CACHE, strategies=None):
+        super().__init__(budget, cache)
+        if strategies is None:
+            strategies = [
+                create_backend(name, budget=budget, cache=cache)
+                for name in self.STRATEGIES
+                if name in available_backends()
+            ]
+        #: the racing lanes; tests inject faulty stand-ins here
+        self.strategies: list[SolverBackend] = list(strategies)
+        #: canonical engine for model queries and last-resort fallback
+        self._canonical = ReferenceBackend(budget=budget, cache=cache)
+        #: strategy name -> reason, for the rest of the run
+        self.disqualified: dict[str, str] = {}
+        #: definitive verdicts each strategy delivered first
+        self.wins: Counter = Counter()
+        self._views: OrderedDict[tuple[str, int], tuple] = OrderedDict()
+
+    def reset(self) -> None:
+        self.disqualified.clear()
+        self.wins.clear()
+        self._views.clear()
+        for strategy in self.strategies:
+            strategy.reset()
+
+    # -- the race ---------------------------------------------------------
+
+    def check(self, plugin, terms, want_model=False):
+        if want_model:
+            # Models are canonical-by-construction: one deterministic
+            # reference solve, never a race (see module docstring).
+            outcome = self._canonical.check(plugin, terms, want_model=True)
+            self.wins[outcome.engine] += 1
+            return outcome
+        racers = [
+            s for s in self.strategies if s.name not in self.disqualified
+        ]
+        if not racers:
+            return self._canonical.check(plugin, terms)
+        if len(racers) == 1:
+            return self._run_sole_survivor(racers[0], plugin, terms)
+        return self._race(racers, plugin, terms)
+
+    def _run_sole_survivor(self, strategy, plugin, terms):
+        try:
+            outcome = strategy.check(plugin, terms)
+        except Exception as exc:
+            self.disqualified.setdefault(
+                strategy.name, f"crashed: {type(exc).__name__}"
+            )
+            return self._canonical.check(plugin, terms)
+        self.wins[outcome.engine] += 1
+        return outcome
+
+    def _race(self, racers, plugin, terms) -> CheckOutcome:
+        cancel = threading.Event()
+        done = threading.Condition()
+        outcomes: dict[str, object] = {}
+
+        def run(strategy):
+            # The cancel event and the budget deadline are thread-local:
+            # each lane arms its own window, and the winner's cancel
+            # reaches the loser's SAT/LIA hot loops at the very next
+            # budget checkpoint.
+            budget.set_cancel(cancel)
+            try:
+                view = self._view_for(strategy, plugin)
+                result = strategy.check(view, terms)
+            except BaseException as exc:  # a lane must never kill the run
+                result = exc
+            finally:
+                budget.clear_cancel()
+            with done:
+                outcomes[strategy.name] = result
+                done.notify_all()
+
+        threads = {
+            s.name: threading.Thread(
+                target=run, args=(s,), name=f"portfolio-{s.name}", daemon=True
+            )
+            for s in racers
+        }
+        for thread in threads.values():
+            thread.start()
+
+        winner: CheckOutcome | None = None
+        deadline = time.monotonic() + self._race_timeout()
+        with done:
+            while True:
+                for s in racers:  # priority order, not arrival order
+                    out = outcomes.get(s.name)
+                    if (
+                        isinstance(out, CheckOutcome)
+                        and out.result != Result.UNKNOWN
+                    ):
+                        winner = out
+                        break
+                if winner is not None or len(outcomes) == len(racers):
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                done.wait(remaining)
+
+        cancel.set()
+        grace = time.monotonic() + self.CANCEL_GRACE
+        for name, thread in threads.items():
+            thread.join(max(0.0, grace - time.monotonic()))
+            if thread.is_alive():
+                self.disqualified.setdefault(
+                    name, "unresponsive to cancellation"
+                )
+        for s in racers:
+            out = outcomes.get(s.name)
+            if isinstance(out, BaseException):
+                self.disqualified.setdefault(
+                    s.name, f"crashed: {type(out).__name__}"
+                )
+
+        if winner is not None:
+            self.wins[winner.engine] += 1
+            return winner
+        # All lanes answered UNKNOWN (or died): prefer the first
+        # surviving lane's UNKNOWN — its stats are real — else fall back
+        # to a direct reference solve so the obligation is still
+        # answered no matter what the lanes did.
+        for s in racers:
+            out = outcomes.get(s.name)
+            if isinstance(out, CheckOutcome):
+                return out
+        return self._canonical.check(plugin, terms)
+
+    def _race_timeout(self) -> float:
+        per_query = (
+            Solver.TIME_BUDGET if self.budget is None else self.budget
+        )
+        return per_query + self.CANCEL_GRACE
+
+    def _view_for(self, strategy, plugin):
+        """A stable per-(strategy, plugin) view.
+
+        Stability matters twice over: the incremental lane keys its
+        persistent engines by view identity, so a fresh view per query
+        would rebuild everything, and a view's cursor (fired keys,
+        depth) must survive across the obligation's query chain exactly
+        like the plugin's own cursor does in a single-strategy run.
+        """
+        if plugin is None:
+            return None
+        key = (strategy.name, id(plugin))
+        entry = self._views.get(key)
+        if entry is not None and entry[0] is plugin:
+            self._views.move_to_end(key)
+            return entry[1]
+        view = plugin.view()
+        self._views[key] = (plugin, view)
+        while len(self._views) > self.MAX_VIEWS:
+            self._views.popitem(last=False)
+        return view

@@ -5,65 +5,54 @@ bare :class:`~repro.smt.solver.Solver` instances; a
 :class:`SolverSession` centralizes that so one verification run has a
 single place to
 
-* thread the per-query time budget to the solver *instance* (never by
+* thread the per-query time budget to the backend *instance* (never by
   mutating ``Solver.TIME_BUDGET``, which would leak to every later
   in-process caller),
 * choose the query cache (the process-wide one by default, a private
   one, or none),
+* choose the solving strategy — a named
+  :class:`~repro.smt.backend.SolverBackend` (``reference``,
+  ``incremental``, ``z3``, ``portfolio``) resolved through the backend
+  registry; the engine mechanics themselves (persistent incremental
+  engines, canonical model solves, portfolio racing) live behind that
+  seam, and
 * record per-query wall time and solver counters against the method
-  currently being verified, and
-* keep one *persistent incremental engine per encoding context*, so
-  the query chain a checker emits (the same invariant under arm 1,
-  arms 1-2, arms 1-2-3, ...) shares its Tseitin encoding, plugin
-  axioms, theory lemmas, and CDCL-learned clauses instead of
-  rebuilding them from scratch per query.
+  currently being verified, attributed to the engine that actually
+  answered (a portfolio run shows per-strategy rows, not an
+  aggregate).
 
-Incremental checking works by diffing each query against the engine's
-current assertion stack: the longest common prefix is kept (those
-assertions stay encoded, their activation literals stay assumable),
-the divergent suffix is popped (guards retired), and the new suffix is
-pushed one assertion per frame.  Verdicts are unaffected -- only work
-is shared -- with one deliberate exception: a shared engine's SAT
-*models* depend on inherited search state, so a query that needs a
-model (for counterexample rendering) bypasses the shared engine and is
-answered outright by a fresh single-query solve, the same
-deterministic computation the from-scratch engine performs.  Cached
-SAT entries therefore only ever carry these canonical models (a shared
-engine stores verdicts alone, and a verdict-only entry never satisfies
-nor displaces a model query -- see ``Solver(need_model=...)``).
+The historical ``incremental`` flag maps onto the backend names:
+``incremental=True`` (the default) is the ``incremental`` backend,
+``incremental=False`` the ``reference`` backend.  An explicit
+``backend=`` wins; :meth:`repro.api.VerifyOptions.validate` rejects
+contradictory combinations before a session is ever built.
 """
 
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 
 from ..metrics.solver_stats import VerifyStats
 from ..obs import NULL_TRACER
 from ..smt import Result, Solver
+from ..smt.backend import create_backend
 from ..smt.cache import GLOBAL_CACHE, SolverCache
 from ..smt.plugin import LazyTheoryPlugin
 from ..smt.terms import Term
 from ..smt.theory import TheoryModel
 
 
-class _Engine:
-    """A persistent incremental solver plus its raw assertion stack."""
-
-    __slots__ = ("plugin", "solver", "stack")
-
-    def __init__(self, plugin: LazyTheoryPlugin, solver: Solver):
-        self.plugin = plugin
-        self.solver = solver
-        self.stack: list[Term] = []
+def resolve_backend_name(
+    backend: str | None, incremental: bool = True
+) -> str:
+    """The one place the legacy flag and the new name are reconciled."""
+    if backend:
+        return backend
+    return "incremental" if incremental else "reference"
 
 
 class SolverSession:
     """One verification run's solver configuration and statistics."""
-
-    #: engines kept alive at once; checkers use one context per
-    #: statement, so a tiny LRU covers the live chain plus stragglers
-    MAX_ENGINES = 4
 
     def __init__(
         self,
@@ -72,6 +61,7 @@ class SolverSession:
         stats: VerifyStats | None = None,
         incremental: bool = True,
         tracer=NULL_TRACER,
+        backend: str | None = None,
     ):
         self.budget = budget
         self.cache = cache
@@ -81,11 +71,16 @@ class SolverSession:
         self.tracer = tracer
         #: set by the driver around each method; labels the stats rows
         self.method_label = "<toplevel>"
-        self._engines: OrderedDict[int, _Engine] = OrderedDict()
+        self.backend_name = resolve_backend_name(backend, incremental)
+        self.backend = create_backend(
+            self.backend_name, budget=budget, cache=cache
+        )
+        self._disqualified_seen: set[str] = set()
 
     def solver(
         self, plugin: LazyTheoryPlugin | None = None, need_model: bool = False
     ) -> Solver:
+        """A bare solver with this session's budget/cache (test hook)."""
         return Solver(
             plugin,
             cache=self.cache,
@@ -103,59 +98,41 @@ class SolverSession:
         """Solve one query, recording it against the current method.
 
         ``want_model`` asks for a counterexample model on SAT; callers
-        that only branch on the verdict leave it off, which lets the
-        incremental engine skip the canonical re-solve that models
-        require (see the module docstring).
+        that only branch on the verdict leave it off, which lets
+        incremental engines skip the canonical re-solve that models
+        require (all backends answer model queries with the reference
+        single-query solve, so counterexamples are byte-identical no
+        matter which backend is selected).
         """
         start = time.perf_counter()
-        if self.incremental and plugin is not None:
-            if want_model:
-                # Model-producing queries are answered by the reference
-                # single-query solve directly: its model is canonical by
-                # construction, and running the shared engine first would
-                # only repeat the same work (see _model_query).
-                result, model, query_stats, solver = self._model_query(
-                    plugin, terms
-                )
-            else:
-                result, model, query_stats, solver = self._check_incremental(
-                    plugin, terms
-                )
-        else:
-            # ``need_model`` tracks ``want_model``: a verdict-only cache
-            # entry (stored by a shared engine, which keeps no models)
-            # can answer a verdict-only query, but a model query must
-            # treat it as a miss and re-solve — asking the solver for a
-            # model it never had would raise.
-            solver = self.solver(plugin, need_model=want_model)
-            for term in terms:
-                solver.add(term)
-            result = solver.check()
-            model = (
-                solver.model()
-                if want_model and result == Result.SAT
-                else None
-            )
-            query_stats = solver.stats
+        outcome = self.backend.check(plugin, terms, want_model=want_model)
         elapsed = time.perf_counter() - start
+        query_stats = outcome.stats
         if self.stats is not None:
             self.stats.record(
-                self.method_label, result.value, elapsed, query_stats
+                self.method_label,
+                outcome.result.value,
+                elapsed,
+                query_stats,
+                backend=outcome.engine,
             )
+            self._sync_disqualifications(start)
         tracer = self.tracer
         if tracer.enabled:
-            # The observability leaf: verdict, cache-tier outcome,
-            # deepening depth reached, and where the time went.  Guarded
-            # by ``enabled`` so an untraced run never assembles this.
+            # The observability leaf: verdict, the engine that answered,
+            # cache-tier outcome, deepening depth reached, and where the
+            # time went.  Guarded by ``enabled`` so an untraced run
+            # never assembles this.
             tracer.leaf(
                 "query",
-                result.value,
+                outcome.result.value,
                 start,
                 start + elapsed,
                 {
-                    "verdict": result.value,
-                    "cache": solver.last_cache_tier,
-                    "depth": solver.last_depth,
+                    "verdict": outcome.result.value,
+                    "backend": outcome.engine,
+                    "cache": outcome.cache_tier,
+                    "depth": outcome.depth,
                     "passes": query_stats.deepening_passes,
                     "rounds": query_stats.sat_rounds,
                     "axioms": query_stats.axioms_asserted,
@@ -167,75 +144,23 @@ class SolverSession:
                     "validate_s": round(query_stats.validate_s, 6),
                 },
             )
-        return result, model
+        return outcome.result, outcome.model
 
-    # -- incremental path --------------------------------------------------
-
-    def _engine_for(self, plugin: LazyTheoryPlugin) -> _Engine:
-        key = id(plugin)
-        engine = self._engines.get(key)
-        if engine is not None and engine.plugin is plugin:
-            self._engines.move_to_end(key)
-            return engine
-        engine = _Engine(
-            plugin,
-            Solver(
-                plugin,
-                cache=self.cache,
-                time_budget=self.budget,
-                store_models=False,
-            ),
-        )
-        self._engines[key] = engine
-        while len(self._engines) > self.MAX_ENGINES:
-            self._engines.popitem(last=False)
-        return engine
-
-    def _check_incremental(self, plugin: LazyTheoryPlugin, terms: list[Term]):
-        engine = self._engine_for(plugin)
-        solver = engine.solver
-        stack = engine.stack
-        # Diff against the previous query: keep the common prefix, pop
-        # the stale suffix, push the new one (one frame per assertion).
-        prefix = 0
-        limit = min(len(stack), len(terms))
-        while prefix < limit and stack[prefix] is terms[prefix]:
-            prefix += 1
-        while len(stack) > prefix:
-            solver.pop()
-            stack.pop()
-        for term in terms[prefix:]:
-            solver.push()
-            solver.add(term)
-            stack.append(term)
-        before = solver.stats.snapshot()
-        result = solver.check()
-        query_stats = solver.stats.delta(before)
-        return result, None, query_stats, solver
-
-    def _model_query(self, plugin: LazyTheoryPlugin, terms: list[Term]):
-        """Verdict *and* model from a fresh single-query solve.
-
-        Uses the session cache with ``need_model`` set, so a shared
-        engine's verdict-only entry cannot short-circuit it (a SAT hit
-        without a model snapshot counts as a miss and the fresh solve
-        runs); the canonical model it produces is then cached, which is
-        what makes warm re-verification skip these solves entirely.
-        Counterexamples rendered from the result -- solved fresh or
-        decoded from the cache -- are byte-identical to the
-        non-incremental engine's.  The shared engine is bypassed
-        entirely: solving there first would duplicate the whole query
-        just to throw its model away.
-        """
-        solver = Solver(
-            plugin,
-            cache=self.cache,
-            time_budget=self.budget,
-            incremental=False,
-            need_model=True,
-        )
-        for term in terms:
-            solver.add(term)
-        result = solver.check()
-        model = solver.model() if result == Result.SAT else None
-        return result, model, solver.stats, solver
+    def _sync_disqualifications(self, when: float) -> None:
+        """Surface portfolio strategy disqualifications once each."""
+        disqualified = getattr(self.backend, "disqualified", None)
+        if not disqualified:
+            return
+        for strategy, reason in disqualified.items():
+            self.stats.backends_disqualified.setdefault(strategy, reason)
+            if strategy in self._disqualified_seen:
+                continue
+            self._disqualified_seen.add(strategy)
+            if self.tracer.enabled:
+                self.tracer.leaf(
+                    "backend-disqualified",
+                    strategy,
+                    when,
+                    when,
+                    {"backend": strategy, "reason": reason},
+                )

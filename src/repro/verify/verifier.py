@@ -192,16 +192,18 @@ class Verifier:
         tracer=NULL_TRACER,
         tier: str = "auto",
         options=None,
+        backend: str | None = None,
     ):
         if options is not None:
             # The consolidated configuration object (repro.api
-            # .VerifyOptions); budget/incremental/tier come from it,
-            # while ``cache`` stays an explicit argument because the
+            # .VerifyOptions); budget/incremental/tier/backend come from
+            # it, while ``cache`` stays an explicit argument because the
             # driver that builds a Verifier has already resolved the
             # cache tiers.
             budget = options.budget
             incremental = options.incremental
             tier = options.tier
+            backend = options.backend
         self.table = table
         self.diag = Diagnostics()
         self.tracer = tracer
@@ -212,6 +214,7 @@ class Verifier:
             stats=VerifyStats(),
             incremental=incremental,
             tracer=tracer,
+            backend=backend,
         )
         self.totality = TotalityChecker(table, self.diag, self.session)
         self.disjointness = DisjointnessChecker(

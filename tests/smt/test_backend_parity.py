@@ -1,0 +1,132 @@
+"""Differential backend parity: every backend, byte-identical reports.
+
+The ``SolverBackend`` contract (``repro.smt.backend``) is that the
+strategy only changes *how* a verdict is reached, never *which* verdict
+— or which counterexample text — the user sees.  This harness runs
+every registered backend over two corpora and compares whole reports:
+
+* the hand-written corpus groups with conclusive verdicts (``trees``
+  is excluded on purpose: it exhausts any budget by design, so which
+  queries answer UNKNOWN is legitimately engine-dependent there — see
+  ``tests/verify/test_incremental_parity.py``);
+* a seeded ``repro.gen`` corpus, so parity is also checked on shapes
+  no human wrote (or thought to write).
+
+"Byte-identical" means the full ``report.to_dict()`` document minus
+the fields that measure *how* the run went (timings and solver
+internals): warnings with their rendered counterexamples, per-kind
+counts, methods/statements checked, and the clean flag.  Verdict
+counts (queries / sat / unsat / unknown) must match too — each
+obligation records exactly one query outcome regardless of strategy.
+
+Backends that are registered but not importable here (z3 without
+z3py installed) skip cleanly instead of failing; CI's backend-matrix
+lane installs z3-solver and runs this same file to un-skip them.
+"""
+
+import pytest
+
+from repro import api
+from repro.corpus import combined_programs
+from repro.gen import GenConfig, generate_corpus
+from repro.smt.backend import backend_available, backend_names
+
+#: corpus groups whose verdicts are conclusive under the default budget
+CONCLUSIVE_GROUPS = ["nat", "lists", "cps", "typeinf", "collections"]
+
+#: the differential baseline every other backend is compared against
+BASELINE = "reference"
+
+BACKENDS = [name for name in backend_names() if name != BASELINE]
+
+
+def _require(backend):
+    if not backend_available(backend):
+        pytest.skip(f"backend {backend!r} not available in this environment")
+
+
+def _report_key(report):
+    """Everything in the report document except timings and internals."""
+    doc = report.to_dict()
+    doc.pop("seconds")
+    doc.pop("solver_stats")
+    return doc
+
+
+def _verdicts(report):
+    t = report.solver_stats.total
+    return (t.queries, t.sat, t.unsat, t.unknown)
+
+
+def _verify(unit, backend):
+    return api.verify(
+        unit, options=api.VerifyOptions(cache=None, backend=backend)
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus_units():
+    programs = combined_programs()
+    return {g: api.compile_program(programs[g]) for g in CONCLUSIVE_GROUPS}
+
+
+@pytest.fixture(scope="module")
+def corpus_baselines(corpus_units):
+    return {
+        g: _verify(unit, BASELINE) for g, unit in corpus_units.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def gen_units():
+    corpus = generate_corpus(GenConfig(methods=40, seed=20260808))
+    return [
+        api.compile_program(f.source, filename=f.name) for f in corpus.files
+    ]
+
+
+@pytest.fixture(scope="module")
+def gen_baselines(gen_units):
+    return [_verify(unit, BASELINE) for unit in gen_units]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("group", CONCLUSIVE_GROUPS)
+def test_backend_matches_reference_on_corpus(
+    corpus_units, corpus_baselines, backend, group
+):
+    _require(backend)
+    report = _verify(corpus_units[group], backend)
+    assert _report_key(report) == _report_key(corpus_baselines[group])
+    assert _verdicts(report) == _verdicts(corpus_baselines[group])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_matches_reference_on_generated_corpus(
+    gen_units, gen_baselines, backend
+):
+    _require(backend)
+    for unit, baseline in zip(gen_units, gen_baselines):
+        report = _verify(unit, backend)
+        assert _report_key(report) == _report_key(baseline), unit.filename
+        assert _verdicts(report) == _verdicts(baseline), unit.filename
+
+
+def test_generated_corpus_exercises_both_verdict_polarities(gen_baselines):
+    """The seeded corpus must contain real work for the backends.
+
+    If a future generator change made every method clean (or every
+    method warn), the parity assertions above would still pass while
+    checking half as much; pin that both polarities are present.
+    """
+    warned = sum(
+        1 for r in gen_baselines if r.diagnostics.warnings
+    )
+    clean = sum(1 for r in gen_baselines if not r.diagnostics.warnings)
+    assert warned + clean == len(gen_baselines)
+    total_warnings = sum(
+        len(r.diagnostics.warnings) for r in gen_baselines
+    )
+    assert total_warnings > 0, "generated corpus produced no warnings"
+    total_methods = sum(r.methods_checked for r in gen_baselines)
+    assert total_methods >= 40

@@ -512,6 +512,22 @@ def test_exit_status_matrix_invalid_flag(program, capsys, format_flag):
     capsys.readouterr()
 
 
+def test_conflicting_backend_and_no_incremental_exits_2(program, capsys):
+    # --no-incremental is a deprecated alias for --backend reference;
+    # combining it with a different backend must die with one coherent
+    # message, not silently prefer either knob.
+    args = ["verify", program(CLEAN), "--no-incremental",
+            "--backend", "portfolio"]
+    assert main(args) == 2
+    err = capsys.readouterr().err
+    assert "conflicts with backend" in err
+
+
+def test_backend_flag_selects_portfolio(program, capsys):
+    assert main(["verify", program(CLEAN), "--backend", "portfolio"]) == 0
+    capsys.readouterr()
+
+
 @pytest.mark.parametrize("format_flag", ["text", "json"])
 def test_exit_status_matrix_unreadable_file(program, capsys, tmp_path, format_flag):
     # A path that cannot be opened fails that file (exit 1) the same

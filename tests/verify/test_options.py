@@ -82,6 +82,7 @@ def test_options_fields_mirror_legacy_defaults():
     assert opts.trace is None
     assert opts.tracer is None
     assert opts.format == "text"
+    assert opts.backend is None
     assert opts.use_cache is True
     assert opts.trace_enabled is False
 
@@ -145,6 +146,71 @@ def test_incremental_flag_is_threaded(unit):
     on = api.verify(unit, options=VerifyOptions(incremental=True))
     off = api.verify(unit, options=VerifyOptions(incremental=False))
     assert _snapshot(on) == _snapshot(off)
+
+
+# -- backend selection and the incremental/backend precedence story ------
+
+
+def test_validate_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="backend must be one of"):
+        VerifyOptions(backend="cvc5").validate()
+
+
+def test_explicit_backend_wins_over_incremental_flag():
+    # The one documented precedence rule: backend= beats incremental=.
+    assert VerifyOptions().resolved_backend == "incremental"
+    assert VerifyOptions(incremental=False).resolved_backend == "reference"
+    assert (
+        VerifyOptions(backend="portfolio").resolved_backend == "portfolio"
+    )
+
+
+def test_incremental_false_is_a_deprecated_alias_for_reference():
+    opts = VerifyOptions(incremental=False)
+    with pytest.warns(DeprecationWarning, match="backend='reference'"):
+        opts.validate()
+    assert opts.resolved_backend == "reference"
+
+
+def test_incremental_false_with_conflicting_backend_raises():
+    for backend in ("incremental", "portfolio"):
+        opts = VerifyOptions(incremental=False, backend=backend)
+        with pytest.raises(ValueError, match="conflicts with backend"):
+            opts.validate()
+
+
+def test_incremental_false_with_reference_backend_is_consistent():
+    # Redundant but not contradictory: both knobs name the same engine,
+    # and the explicit backend= suppresses the deprecation warning.
+    import warnings as warnings_module
+
+    opts = VerifyOptions(incremental=False, backend="reference")
+    with warnings_module.catch_warnings():
+        warnings_module.simplefilter("error")
+        opts.validate()
+    assert opts.resolved_backend == "reference"
+
+
+def test_loose_kwargs_to_api_verify_emit_deprecation(unit):
+    with pytest.warns(DeprecationWarning, match="loose keyword arguments"):
+        api.verify(unit, cache=None)
+
+
+def test_api_verify_backend_kwarg_is_threaded(unit):
+    baseline = api.verify(unit, options=VerifyOptions(cache=None))
+    for backend in ("reference", "portfolio"):
+        report = api.verify(
+            unit, options=VerifyOptions(cache=None, backend=backend)
+        )
+        assert _snapshot(report) == _snapshot(baseline)
+
+
+def test_api_exports_the_backend_registry():
+    assert "SolverBackend" in api.__all__
+    assert set(api.backend_names()) >= {
+        "incremental", "portfolio", "reference", "z3",
+    }
+    assert {"incremental", "reference"} <= set(api.available_backends())
 
 
 # -- the machine-readable report -----------------------------------------

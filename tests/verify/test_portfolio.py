@@ -1,0 +1,156 @@
+"""Portfolio fault tolerance: a bad strategy never fails an obligation.
+
+The portfolio contract (:mod:`repro.verify.portfolio`) is the PR 4
+fault-tolerance discipline applied to solver strategies: a lane that
+crashes or wedges is *disqualified for the run* — recorded with a
+reason, surfaced on ``--stats``, excluded from later races — while the
+obligation itself is still answered correctly by the survivors (or by
+a direct reference solve when nothing survives).  These tests inject
+faulty stand-in strategies through the ``strategies=`` seam and pin
+every clause of that contract, plus the win-count bookkeeping that
+``--stats`` renders as per-strategy rows.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.metrics.solver_stats import VerifyStats
+from repro.smt import INT, Result, mk_ge, mk_int, mk_le, mk_var
+from repro.smt.backend import CheckOutcome, ReferenceBackend, SolverBackend
+from repro.verify.portfolio import PortfolioBackend
+from repro.verify.solving import SolverSession
+
+
+def _sat_terms():
+    x = mk_var("x", INT)
+    return [mk_ge(x, mk_int(3)), mk_le(x, mk_int(5))]
+
+
+def _unsat_terms():
+    x = mk_var("x", INT)
+    return [mk_ge(x, mk_int(7)), mk_le(x, mk_int(2))]
+
+
+class CrashingBackend(SolverBackend):
+    """A lane that dies on every query."""
+
+    name = "crasher"
+    capabilities = frozenset()
+
+    def check(self, plugin, terms, want_model=False):
+        raise RuntimeError("injected fault")
+
+
+class HangingBackend(SolverBackend):
+    """A lane that ignores cancellation entirely.
+
+    Sleeps far past the race deadline without ever polling the budget
+    checkpoints, modeling a wedged third-party solver; the sleep is
+    interruptible by ``release`` only so the test can end promptly.
+    """
+
+    name = "hanger"
+    capabilities = frozenset()
+
+    def __init__(self, budget=None, cache=None):
+        super().__init__(budget, cache)
+        self.release = threading.Event()
+
+    def check(self, plugin, terms, want_model=False):
+        self.release.wait(60.0)
+        return CheckOutcome(Result.UNKNOWN, engine=self.name)
+
+
+def _portfolio(*faulty, budget=None):
+    """A portfolio of the injected lanes plus two honest ones."""
+    honest = [
+        ReferenceBackend(budget=budget, cache=None),
+        ReferenceBackend(budget=budget, cache=None),
+    ]
+    honest[1].name = "reference-2"
+    return PortfolioBackend(
+        budget=budget, cache=None, strategies=list(faulty) + honest
+    )
+
+
+def test_crashing_strategy_is_disqualified_not_fatal():
+    backend = _portfolio(CrashingBackend(cache=None))
+    outcome = backend.check(None, _unsat_terms())
+    assert outcome.result == Result.UNSAT
+    assert backend.disqualified == {"crasher": "crashed: RuntimeError"}
+    # Disqualification sticks: the crasher is never raced again.
+    again = backend.check(None, _sat_terms())
+    assert again.result == Result.SAT
+    assert backend.disqualified == {"crasher": "crashed: RuntimeError"}
+
+
+def test_hanging_strategy_is_disqualified_not_fatal():
+    hanger = HangingBackend(cache=None)
+    backend = _portfolio(hanger, budget=2.0)
+    try:
+        outcome = backend.check(None, _unsat_terms())
+    finally:
+        hanger.release.set()
+    assert outcome.result == Result.UNSAT
+    assert backend.disqualified == {
+        "hanger": "unresponsive to cancellation"
+    }
+
+
+def test_sole_survivor_crash_falls_back_to_reference():
+    """Even with every lane dead, the obligation is still answered."""
+    backend = PortfolioBackend(
+        cache=None, strategies=[CrashingBackend(cache=None)]
+    )
+    outcome = backend.check(None, _sat_terms())
+    assert outcome.result == Result.SAT
+    assert outcome.engine == "reference"
+    assert backend.disqualified == {"crasher": "crashed: RuntimeError"}
+    # Nothing left to race: later checks go straight to the canonical
+    # reference solve and stay correct.
+    assert backend.check(None, _unsat_terms()).result == Result.UNSAT
+
+
+def test_wins_are_counted_per_strategy():
+    backend = _portfolio()
+    for _ in range(3):
+        assert backend.check(None, _unsat_terms()).result == Result.UNSAT
+    assert sum(backend.wins.values()) == 3
+    assert set(backend.wins) <= {"reference", "reference-2"}
+
+
+def test_model_queries_are_answered_canonically():
+    backend = _portfolio(CrashingBackend(cache=None))
+    outcome = backend.check(None, _sat_terms(), want_model=True)
+    assert outcome.result == Result.SAT
+    assert outcome.model is not None
+    assert outcome.engine == "reference"
+    # A model query never races, so the crasher was never invoked.
+    assert backend.disqualified == {}
+
+
+def test_disqualification_is_surfaced_on_session_stats():
+    """The counter users see: ``--stats`` renders the reason line."""
+    stats = VerifyStats()
+    session = SolverSession(stats=stats, cache=None, backend="portfolio")
+    session.backend = _portfolio(CrashingBackend(cache=None))
+    result, model = session.check(None, _unsat_terms())
+    assert result == Result.UNSAT
+    assert stats.backends_disqualified == {
+        "crasher": "crashed: RuntimeError"
+    }
+    table = stats.format_table()
+    assert "backend disqualified: crasher (crashed: RuntimeError)" in table
+    # Per-strategy attribution made it into the rendered table too.
+    assert "reference" in table
+
+
+def test_reset_clears_fault_state():
+    backend = _portfolio(CrashingBackend(cache=None))
+    backend.check(None, _sat_terms())
+    assert backend.disqualified and backend.wins
+    backend.reset()
+    assert backend.disqualified == {}
+    assert not backend.wins
